@@ -1,0 +1,9 @@
+"""Benchmark-suite plumbing: importable helpers + results directory."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+os.makedirs(RESULTS_DIR, exist_ok=True)

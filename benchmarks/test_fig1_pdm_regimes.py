@@ -1,0 +1,142 @@
+"""Validates the two PDM organisations of the paper's Figure 1.
+
+(a) P = 1 with D disks striped: one parallel I/O moves D blocks, so the
+    elapsed time of streaming N items scales as ~1/D while the block-I/O
+    *count* (the PDM complexity measure) is unchanged.
+(b) P = D, one disk per processor used independently — the organisation
+    the paper's cluster realises; per-node counters match the single
+    disk's share.
+"""
+
+import numpy as np
+from helpers import once, write_result
+
+from repro.cluster.machine import Cluster, homogeneous_cluster
+from repro.metrics.report import Table
+from repro.pdm.disk import DiskParams, SimDisk
+from repro.pdm.striping import StripedFile
+from repro.workloads.generators import make_benchmark
+
+N = 2**15
+B = 256
+DISK = DiskParams(seek_time=5e-4, bandwidth=15e6)
+
+
+def stream_striped(D: int):
+    """Write then read N items through a D-disk striped file."""
+    disks = [SimDisk(DISK, name=f"d{i}") for i in range(D)]
+    sf = StripedFile(disks, B=B)
+    data = make_benchmark(0, N, seed=0)
+    blocks = [data[i : i + B] for i in range(0, N, B)]
+    t_write = 0.0
+    for i in range(0, len(blocks), D):
+        t_write += sf.append_stripe(blocks[i : i + D])
+    t_read = sum(t for _, t in sf.iter_stripes())
+    stats = sf.stats()
+    return t_write + t_read, stats.block_ios
+
+
+def run_fig1():
+    rows = []
+    for D in (1, 2, 4, 8):
+        elapsed, block_ios = stream_striped(D)
+        rows.append((D, elapsed, block_ios))
+    return rows
+
+
+def test_fig1_pdm_regimes(benchmark):
+    rows = once(benchmark, run_fig1)
+
+    table = Table(
+        f"Figure 1 (a): P=1 with D striped disks, streaming N={N} items",
+        ["D", "Elapsed (s)", "Block I/Os", "Speedup vs D=1"],
+    )
+    base = rows[0][1]
+    for D, elapsed, ios in rows:
+        table.add_row(D, elapsed, ios, f"{base / elapsed:.2f}x")
+    summary = (
+        "\nThe block-I/O count (PDM cost) is invariant in D; elapsed time "
+        "scales ~1/D.\nOrganisation (b) (P=D, independent disks) is what "
+        "every cluster bench in this suite uses."
+    )
+    write_result("fig1_pdm_regimes", table.render() + summary)
+
+    # Counts invariant, time ~1/D.
+    assert len({ios for _, _, ios in rows}) == 1
+    for D, elapsed, _ in rows:
+        assert base / elapsed == pytest.approx(D, rel=0.05)
+
+
+def test_fig1_organisation_b_independent_disks(benchmark):
+    """P=D: per-node disks carry equal, independent load."""
+
+    def run():
+        cluster = Cluster(homogeneous_cluster(4))
+        data = make_benchmark(0, N, seed=1)
+        per = N // 4
+        for i, node in enumerate(cluster.nodes):
+            from repro.pdm.blockfile import BlockFile, BlockWriter
+
+            f = BlockFile(node.disk, B, data.dtype)
+            with BlockWriter(f, node.mem) as w:
+                w.write(data[i * per : (i + 1) * per])
+        return cluster
+
+    cluster = once(benchmark, run)
+    writes = [n.disk.stats.blocks_written for n in cluster.nodes]
+    assert len(set(writes)) == 1  # perfectly even
+    # Independent disks: elapsed ~= one node's time, not the sum.
+    assert cluster.elapsed() < 1.05 * sum(
+        n.disk.stats.busy_time for n in cluster.nodes
+    ) / 4 + 1e-9
+
+
+def test_fig1_d_disks_through_full_sort(benchmark):
+    """Theorem 1's n/D end to end: the whole of Algorithm 1 on clusters
+    whose nodes have D independent drives each."""
+    from repro.cluster.machine import Cluster, ClusterSpec, NodeSpec
+    from repro.core.external_psrs import PSRSConfig, sort_array
+    from repro.core.perf import PerfVector
+    from repro.metrics.report import Table
+    from repro.workloads.records import verify_sorted_permutation
+
+    perf = PerfVector([1, 1])
+    n = perf.nearest_exact(2**15)
+    data = make_benchmark(0, n, seed=2)
+
+    def run():
+        rows = []
+        for D in (1, 2, 4):
+            spec = ClusterSpec(
+                nodes=tuple(
+                    NodeSpec(name=f"n{i}", memory_items=2048, n_disks=D)
+                    for i in range(2)
+                )
+            )
+            cluster = Cluster(spec)
+            res = sort_array(
+                cluster, perf, data, PSRSConfig(block_items=256, message_items=8192)
+            )
+            verify_sorted_permutation(data, res.to_array())
+            rows.append((D, res.elapsed, res.io.block_ios))
+        return rows
+
+    rows = once(benchmark, run)
+    table = Table(
+        f"Algorithm 1 with D disks per node, N={n}",
+        ["D", "Exe Time (s)", "Block I/Os", "speedup vs D=1"],
+    )
+    base = rows[0][1]
+    for D, t, ios in rows:
+        table.add_row(D, t, ios, f"{base / t:.2f}x")
+    write_result("fig1_d_disks_full_sort", table.render())
+
+    # Block-I/O counts identical; elapsed shrinks with D (diluted by
+    # CPU/network shares of the pipeline).
+    assert len({ios for _, _, ios in rows}) == 1
+    assert rows[1][1] < rows[0][1]
+    assert rows[2][1] < rows[1][1]
+    assert base / rows[2][1] > 2.0  # D=4 at least halves twice-ish
+
+
+import pytest  # noqa: E402  (used in assertions above)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Comparing the sequential external-sorting engines on the 8 benchmarks.
+
+Exercises the substrate directly: polyphase merge sort (the paper's
+engine), balanced k-way merging, and distribution sort, with both run
+formation policies, over the workload suite — reporting item I/Os (the
+PDM's cost measure) for each combination.
+
+Run:  python examples/engine_comparison.py
+"""
+
+from repro import (
+    BENCHMARKS,
+    BlockFile,
+    BlockWriter,
+    DiskParams,
+    MemoryManager,
+    SimDisk,
+    Table,
+    balanced_merge_sort,
+    distribution_sort,
+    make_benchmark,
+    polyphase_sort,
+    verify_sorted_permutation,
+)
+
+N = 2**14
+MEMORY = 2048
+BLOCK = 256
+
+
+def fresh_input(bench_id: int):
+    disk = SimDisk(DiskParams(seek_time=5e-4, bandwidth=15e6))
+    mem = MemoryManager(MEMORY)
+    data = make_benchmark(bench_id, N, seed=bench_id)
+    f = BlockFile(disk, BLOCK, data.dtype)
+    with BlockWriter(f, mem) as w:
+        w.write(data)
+    return disk, mem, f, data, disk.stats.snapshot()
+
+
+ENGINES = {
+    "polyphase": lambda f, d, m: polyphase_sort(f, d, m, n_tapes=8).output,
+    "polyphase+replacement": lambda f, d, m: polyphase_sort(
+        f, d, m, n_tapes=8, run_policy="replacement"
+    ).output,
+    "balanced": lambda f, d, m: balanced_merge_sort(f, d, m).output,
+    "distribution": lambda f, d, m: distribution_sort(f, d, m).output,
+}
+
+
+def main() -> None:
+    table = Table(
+        f"sequential engines x workloads: item I/Os (N={N}, M={MEMORY}, B={BLOCK})",
+        ["workload"] + list(ENGINES),
+    )
+    for bench_id, spec in BENCHMARKS.items():
+        row = [spec.name]
+        for engine_fn in ENGINES.values():
+            disk, mem, f, data, base = fresh_input(bench_id)
+            out = engine_fn(f, disk, mem)
+            verify_sorted_permutation(data, out.to_array())
+            row.append((disk.stats - base).item_ios)
+        table.add_row(*row)
+    print(table.render())
+    print(
+        "\nNotes: replacement selection shines on presorted inputs (one "
+        "run, no merge); distribution sort struggles when duplicates "
+        "defeat its splitters (all_equal short-circuits via the "
+        "constant-bucket path)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on minimal/offline environments
+whose setuptools lacks bdist_wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+sort        run the heterogeneous external PSRS sort once and report
+calibrate   run the Table-2 perf-filling protocol on the paper cluster
+table2      regenerate a (scaled) Table 2
+table3      regenerate a (scaled) Table 3 comparison
+sweep       the §5 message-size sweep
+workloads   list the 8 input benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _parse_perf(text: str):
+    from repro.core.perf import PerfVector
+
+    try:
+        vals = [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"perf must be comma-separated integers, got {text!r}"
+        ) from None
+    try:
+        return PerfVector(vals)
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Out-of-core PSRS sorting for heterogeneous clusters "
+        "(Cérin, IPPS 2002) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sort = sub.add_parser("sort", help="run the external PSRS sort once")
+    p_sort.add_argument("--n", type=int, default=2**16, help="input size (items)")
+    p_sort.add_argument("--perf", type=_parse_perf, default=_parse_perf("4,4,1,1"))
+    p_sort.add_argument("--memory", type=int, default=2048, help="per-node M (items)")
+    p_sort.add_argument("--block", type=int, default=256, help="block size B (items)")
+    p_sort.add_argument("--message", type=int, default=8192, help="message size (items)")
+    p_sort.add_argument(
+        "--pivot-method", choices=["regular", "random", "quantile"], default="regular"
+    )
+    p_sort.add_argument("--link", choices=["ethernet", "myrinet"], default="ethernet")
+    p_sort.add_argument("--benchmark", default="0", help="workload id or name")
+    p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.add_argument(
+        "--spill-dir",
+        default=None,
+        help="spill every file to this host directory (true out-of-core)",
+    )
+
+    p_cal = sub.add_parser("calibrate", help="Table-2 perf-filling protocol")
+    p_cal.add_argument("--n", type=int, default=2**17, help="total input size")
+    p_cal.add_argument("--memory", type=int, default=2048)
+    p_cal.add_argument("--block", type=int, default=256)
+
+    p_t2 = sub.add_parser("table2", help="regenerate Table 2 (scaled)")
+    p_t2.add_argument("--sizes", default="16384,32768,65536")
+    p_t2.add_argument("--memory", type=int, default=2048)
+    p_t2.add_argument("--block", type=int, default=256)
+
+    p_t3 = sub.add_parser("table3", help="regenerate the Table 3 comparison")
+    p_t3.add_argument("--n", type=int, default=2**16)
+    p_t3.add_argument("--memory", type=int, default=2048)
+    p_t3.add_argument("--block", type=int, default=256)
+
+    p_sw = sub.add_parser("sweep", help="message-size sweep (§5)")
+    p_sw.add_argument("--n", type=int, default=2**14)
+    p_sw.add_argument("--sizes", default="8,64,512,8192,32768")
+    p_sw.add_argument("--memory", type=int, default=2048)
+    p_sw.add_argument("--block", type=int, default=256)
+
+    sub.add_parser("workloads", help="list the 8 input benchmarks")
+    return parser
+
+
+def cmd_sort(args) -> int:
+    from repro.cluster.machine import Cluster, heterogeneous_cluster
+    from repro.cluster.network import FAST_ETHERNET, MYRINET
+    from repro.core.external_psrs import PSRSConfig, sort_array
+    from repro.pdm.filestore import FileStore
+    from repro.workloads.generators import make_benchmark
+    from repro.workloads.records import verify_sorted_permutation
+
+    perf = args.perf
+    n = perf.nearest_exact(args.n)
+    bench = int(args.benchmark) if args.benchmark.isdigit() else args.benchmark
+    data = make_benchmark(bench, n, seed=args.seed)
+    link = FAST_ETHERNET if args.link == "ethernet" else MYRINET
+    cluster = Cluster(
+        heterogeneous_cluster(
+            [float(v) for v in perf.values], memory_items=args.memory, link=link
+        )
+    )
+    store = FileStore(args.spill_dir) if args.spill_dir else None
+    if store is not None:
+        for node in cluster.nodes:
+            node.disk.file_factory = store.create
+    res = sort_array(
+        cluster,
+        perf,
+        data,
+        PSRSConfig(
+            block_items=args.block,
+            message_items=args.message,
+            pivot_method=args.pivot_method,
+            seed=args.seed,
+        ),
+    )
+    verify_sorted_permutation(data, res.to_array())
+    print(f"sorted {res.n_items} items (verified) on perf={perf.values}")
+    print(f"simulated time: {res.elapsed:.3f} s   S(max): {res.s_max:.4f}")
+    for step, t in res.step_times.items():
+        print(f"  {step:<18} {t:9.4f} s")
+    print(
+        f"I/O blocks r/w: {res.io.blocks_read}/{res.io.blocks_written}   "
+        f"network: {res.network_messages} msgs / {res.network_bytes} bytes"
+    )
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.cluster.machine import paper_cluster
+    from repro.core.calibration import calibrate
+
+    spec = paper_cluster(memory_items=args.memory)
+    cal = calibrate(spec, args.n, block_items=args.block)
+    for ns, t in zip(spec.nodes, cal.times):
+        print(f"{ns.name:<12} {t:10.3f} s")
+    print(f"perf vector: {cal.perf.values}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.cluster.machine import paper_cluster
+    from repro.core.calibration import sequential_sort_table
+    from repro.metrics.report import Table
+
+    sizes = [int(x) for x in args.sizes.split(",")]
+    rows = sequential_sort_table(
+        paper_cluster(memory_items=args.memory),
+        sizes=sizes,
+        repeats=2,
+        block_items=args.block,
+    )
+    table = Table("Table 2 (scaled)", ["Node", "Input size", "Time (s)", "Dev"])
+    last = None
+    for r in rows:
+        if r.node != last:
+            table.add_section(r.node)
+            last = r.node
+        table.add_row("", r.n_items, r.stats.mean, r.stats.std)
+    print(table.render())
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from repro.cluster.machine import Cluster, paper_cluster
+    from repro.core.external_psrs import PSRSConfig, sort_array
+    from repro.core.perf import PerfVector
+    from repro.metrics.report import Table
+    from repro.workloads.generators import make_benchmark
+
+    table = Table("Table 3 (scaled)", ["perf", "Exe Time (s)", "S(max)"])
+    times = {}
+    for vals in ([1, 1, 1, 1], [4, 4, 1, 1]):
+        perf = PerfVector(vals)
+        n = perf.nearest_exact(args.n)
+        data = make_benchmark(0, n, seed=0)
+        cluster = Cluster(paper_cluster(memory_items=args.memory))
+        res = sort_array(
+            cluster, perf, data, PSRSConfig(block_items=args.block, message_items=8192)
+        )
+        times[tuple(vals)] = res.elapsed
+        table.add_row(str(vals), res.elapsed, res.s_max)
+    print(table.render())
+    print(
+        f"homogeneous/hetero ratio: "
+        f"{times[(1, 1, 1, 1)] / times[(4, 4, 1, 1)]:.2f}x (paper: 1.96x)"
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.cluster.machine import Cluster, paper_cluster
+    from repro.core.external_psrs import PSRSConfig, sort_array
+    from repro.core.perf import PerfVector
+    from repro.metrics.report import Table
+    from repro.workloads.generators import make_benchmark
+
+    perf = PerfVector([1, 1, 1, 1])
+    data = make_benchmark(0, args.n, seed=0)
+    table = Table("message-size sweep", ["message (ints)", "Exe Time (s)"])
+    for msg in [int(x) for x in args.sizes.split(",")]:
+        cluster = Cluster(paper_cluster(loaded=False, memory_items=args.memory))
+        res = sort_array(
+            cluster, perf, data, PSRSConfig(block_items=args.block, message_items=msg)
+        )
+        table.add_row(msg, res.elapsed)
+    print(table.render())
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from repro.workloads.generators import BENCHMARKS
+
+    for bid, spec in BENCHMARKS.items():
+        print(f"{bid}  {spec.name:<14} {spec.description}")
+    return 0
+
+
+_COMMANDS = {
+    "sort": cmd_sort,
+    "calibrate": cmd_calibrate,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "sweep": cmd_sweep,
+    "workloads": cmd_workloads,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(threshold=16)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

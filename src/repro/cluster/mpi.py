@@ -1,0 +1,136 @@
+"""mpi4py-shaped collectives over the simulated network.
+
+The simulation executes all ranks in one Python process, so a
+"collective" here both moves the payload (plain numpy arrays handed
+across) and charges the network/clock model with the same message
+schedule a real MPI implementation would use:
+
+* gather — every rank sends to the root, root-serialized,
+* bcast — binomial tree (log2 p rounds),
+* scatter — root sends each rank its slice,
+* alltoall(v) — p-1 rotation rounds; in round ``r`` rank ``i`` exchanges
+  with ranks ``i±r`` (the classic "phased" schedule), each message
+  contending for the NIC channels in :class:`~repro.cluster.network.Network`.
+
+Payloads are numpy arrays; byte counts come from ``arr.nbytes``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.network import Network
+from repro.cluster.node import SimNode
+
+
+class SimComm:
+    """A communicator over a fixed list of nodes."""
+
+    def __init__(self, nodes: Sequence[SimNode], network: Network) -> None:
+        if not nodes:
+            raise ValueError("communicator needs at least one node")
+        self.nodes = list(nodes)
+        self.network = network
+        for i, nd in enumerate(self.nodes):
+            if nd.rank != i:
+                raise ValueError(
+                    f"node at position {i} has rank {nd.rank}; ranks must be 0..p-1"
+                )
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: np.ndarray) -> np.ndarray:
+        """Move ``payload`` from rank src to dst (copies; charges the model)."""
+        arr = np.asarray(payload)
+        self.network.transfer(self.nodes[src], self.nodes[dst], arr.nbytes)
+        return arr.copy()
+
+    # -- collectives ---------------------------------------------------------
+
+    def gather(self, payloads: Sequence[np.ndarray], root: int = 0) -> list[np.ndarray]:
+        """Every rank's payload arrives at ``root``; returns the list."""
+        self._check_rank(root)
+        if len(payloads) != self.size:
+            raise ValueError(f"need {self.size} payloads, got {len(payloads)}")
+        out: list[np.ndarray] = []
+        for i, arr in enumerate(payloads):
+            arr = np.asarray(arr)
+            if i != root:
+                self.network.transfer(self.nodes[i], self.nodes[root], arr.nbytes)
+            out.append(arr.copy())
+        return out
+
+    def bcast(self, payload: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Binomial-tree broadcast; returns per-rank copies."""
+        self._check_rank(root)
+        arr = np.asarray(payload)
+        p = self.size
+        # Work in root-relative rank space: relative 0 is the root.
+        have = {0}
+        step = 1
+        while step < p:
+            for rel in sorted(have):
+                peer = rel + step
+                if peer < p and peer not in have:
+                    src = (root + rel) % p
+                    dst = (root + peer) % p
+                    self.network.transfer(self.nodes[src], self.nodes[dst], arr.nbytes)
+                    have.add(peer)
+            step *= 2
+        return [arr.copy() for _ in range(p)]
+
+    def scatter(self, payloads: Sequence[np.ndarray], root: int = 0) -> list[np.ndarray]:
+        """Root sends slice i to rank i; returns per-rank arrays."""
+        self._check_rank(root)
+        if len(payloads) != self.size:
+            raise ValueError(f"need {self.size} payloads, got {len(payloads)}")
+        out = []
+        for i, arr in enumerate(payloads):
+            arr = np.asarray(arr)
+            if i != root:
+                self.network.transfer(self.nodes[root], self.nodes[i], arr.nbytes)
+            out.append(arr.copy())
+        return out
+
+    def alltoallv(
+        self, matrix: Sequence[Sequence[Optional[np.ndarray]]]
+    ) -> list[list[Optional[np.ndarray]]]:
+        """``matrix[i][j]`` goes from rank i to rank j; returns the transpose.
+
+        Messages follow the rotation schedule: round r moves every
+        ``i -> (i + r) mod p`` message; NIC contention is resolved by the
+        network's channel model.  ``None`` entries send nothing.
+        """
+        p = self.size
+        if len(matrix) != p or any(len(row) != p for row in matrix):
+            raise ValueError(f"matrix must be {p}x{p}")
+        recv: list[list[Optional[np.ndarray]]] = [[None] * p for _ in range(p)]
+        for i in range(p):
+            if matrix[i][i] is not None:
+                recv[i][i] = np.asarray(matrix[i][i]).copy()
+        for r in range(1, p):
+            for i in range(p):
+                j = (i + r) % p
+                arr = matrix[i][j]
+                if arr is None:
+                    continue
+                arr = np.asarray(arr)
+                self.network.transfer(self.nodes[i], self.nodes[j], arr.nbytes)
+                recv[j][i] = arr.copy()
+        return recv
+
+    def barrier(self) -> float:
+        """Synchronise all clocks (BSP superstep boundary)."""
+        from repro.cluster.simclock import barrier as _barrier
+
+        return _barrier([n.clock for n in self.nodes])
+
+    def _check_rank(self, r: int) -> None:
+        if not (0 <= r < self.size):
+            raise ValueError(f"rank {r} out of range 0..{self.size - 1}")

@@ -1,0 +1,117 @@
+"""Simulated cluster node.
+
+A node bundles a virtual clock, a CPU cost model, one attached simulated
+disk (the paper's organisation: one disk per processor, used
+independently) and a memory budget.  The node's ``speed`` is the paper's
+``perf[i]`` semantics: *relative performance*, higher = faster.  Every
+CPU operation and (by default) every disk access is charged
+``base_cost / speed`` — precisely the "performances correlated by a
+multiplicative factor" machine class of §1, which the paper realises by
+forking load onto some nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.simclock import VirtualClock
+from repro.pdm.disk import DiskParams, SimDisk
+from repro.pdm.memory import MemoryManager
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """CPU cost model.
+
+    ``seconds_per_op`` is the simulated cost of one abstract operation
+    (a key comparison / move inside a sort or merge) at ``speed == 1``.
+    The default is calibrated so the Table-2 scale (tens to hundreds of
+    seconds for 2^21..2^25 items on a late-90s node) comes out in the
+    right ballpark.
+    """
+
+    seconds_per_op: float = 2e-8
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_op <= 0:
+            raise ValueError(
+                f"seconds_per_op must be > 0, got {self.seconds_per_op}"
+            )
+
+
+class SimNode:
+    """One cluster node: clock + CPU + disk + memory.
+
+    Parameters
+    ----------
+    rank:
+        Node index in the cluster.
+    speed:
+        Relative performance (the paper's ``perf[i]``); service times
+        scale by ``1/speed``.
+    memory_items:
+        The PDM parameter M for this node, in items (``None`` = in-core).
+    disk_params / cpu_params:
+        Device cost models at ``speed == 1``.
+    name:
+        Host name (defaults to ``node<rank>``).
+    io_scaled_by_speed:
+        If True (default, matching the paper's *loaded processors*
+        protocol, where forked spinners slow everything down), the disk
+        is slowed by ``1/speed`` too; if False only CPU work is scaled
+        (a cluster of equal disks but unequal CPUs).
+    n_disks:
+        Independent drives behind this node's storage (the PDM's D;
+        Figure 1 (b) generalised).  Service time divides by D.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        speed: float = 1.0,
+        memory_items: Optional[int] = None,
+        disk_params: DiskParams = DiskParams(),
+        cpu_params: CpuParams = CpuParams(),
+        name: Optional[str] = None,
+        io_scaled_by_speed: bool = True,
+        n_disks: int = 1,
+    ) -> None:
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        if speed <= 0:
+            raise ValueError(f"speed must be > 0, got {speed}")
+        self.rank = rank
+        self.speed = float(speed)
+        self.name = name if name is not None else f"node{rank}"
+        self.cpu = cpu_params
+        self.clock = VirtualClock()
+        self.mem = MemoryManager(memory_items)
+        io_slowdown = (1.0 / self.speed) if io_scaled_by_speed else 1.0
+        self.disk = SimDisk(
+            disk_params,
+            name=f"{self.name}.disk",
+            slowdown=io_slowdown,
+            observer=self.clock.advance,
+            parallelism=n_disks,
+        )
+        self.ops_charged = 0.0
+
+    def compute(self, ops: float) -> None:
+        """Charge ``ops`` abstract CPU operations to this node's clock."""
+        if ops < 0:
+            raise ValueError(f"ops must be >= 0, got {ops}")
+        self.ops_charged += ops
+        self.clock.advance(ops * self.cpu.seconds_per_op / self.speed)
+
+    def reset(self) -> None:
+        """Zero the clock and counters (e.g. after untimed input setup)."""
+        self.clock.reset()
+        self.disk.stats.reset()
+        self.ops_charged = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimNode(rank={self.rank}, name={self.name!r}, speed={self.speed}, "
+            f"t={self.clock.time:.4f}s)"
+        )

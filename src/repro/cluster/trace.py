@@ -1,0 +1,87 @@
+"""Event tracing for cluster runs.
+
+Records per-node, per-step intervals so experiments can report where the
+simulated time went (local sort vs pivots vs partition vs redistribution
+vs final merge) — the breakdown behind the paper's claim that the
+algorithm is communication-light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded interval of one node inside one algorithm step."""
+
+    step: str
+    node: int
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class Trace:
+    """Ordered collection of trace events with summary helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, step: str, node: int, t_start: float, t_end: float) -> None:
+        if t_end < t_start:
+            raise ValueError(f"t_end {t_end} < t_start {t_start}")
+        self.events.append(TraceEvent(step, node, t_start, t_end))
+
+    def steps(self) -> list[str]:
+        """Step names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.step, None)
+        return list(seen)
+
+    def for_step(self, step: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.step == step]
+
+    def step_duration(self, step: str) -> float:
+        """Wall (barrier-to-barrier) duration of a step: max node interval."""
+        evs = self.for_step(step)
+        if not evs:
+            return 0.0
+        return max(e.t_end for e in evs) - min(e.t_start for e in evs)
+
+    def node_busy(self, step: str, node: int) -> float:
+        return sum(e.duration for e in self.for_step(step) if e.node == node)
+
+    def summary(self) -> dict[str, float]:
+        """Step name -> barrier-to-barrier duration."""
+        return {s: self.step_duration(s) for s in self.steps()}
+
+    def imbalance(self, step: str) -> float:
+        """max/mean node busy time within a step (1.0 = perfectly balanced)."""
+        evs = self.for_step(step)
+        if not evs:
+            return 1.0
+        nodes = sorted({e.node for e in evs})
+        busy = [self.node_busy(step, n) for n in nodes]
+        mean = sum(busy) / len(busy)
+        if mean == 0:
+            return 1.0
+        return max(busy) / mean
+
+    def render(self) -> str:
+        """Human-readable per-step table."""
+        lines = [f"{'step':<22}{'duration (s)':>14}{'imbalance':>12}"]
+        for s in self.steps():
+            lines.append(
+                f"{s:<22}{self.step_duration(s):>14.4f}{self.imbalance(s):>12.3f}"
+            )
+        return "\n".join(lines)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for e in events:
+            self.events.append(e)

@@ -1,0 +1,127 @@
+"""The paper's perf-vector calibration protocol (§5, Table 2).
+
+    "for an input size of N integers on a p > 1 processors machine, we
+    first execute the sequential external sort used in the parallel code
+    on N/p data [on every node] ... the ratios to the slower execution
+    time allow us to fill the perf array."
+
+:func:`calibrate` runs the polyphase sort of ``N/p`` items on each node
+of a cluster (independently, from a reset clock), measures the simulated
+times, and rounds the time ratios into a :class:`~repro.core.perf.PerfVector`.
+:func:`sequential_sort_table` regenerates Table 2's grid of (node x
+input size) timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.core.perf import PerfVector
+from repro.extsort.polyphase import polyphase_sort
+from repro.metrics.timing import TrialStats
+from repro.pdm.blockfile import BlockWriter
+from repro.workloads.generators import make_benchmark
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of the perf-filling protocol."""
+
+    times: list[float]
+    speeds: list[float]
+    perf: PerfVector
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rows = ", ".join(f"{t:.2f}s" for t in self.times)
+        return f"CalibrationResult(times=[{rows}], perf={self.perf.values})"
+
+
+def _sequential_sort_time(
+    cluster: Cluster,
+    node_rank: int,
+    n_items: int,
+    block_items: int,
+    n_tapes: Optional[int],
+    seed: int,
+    benchmark: int | str = 0,
+) -> float:
+    """Simulated time for one node to externally sort ``n_items`` alone."""
+    node = cluster.nodes[node_rank]
+    data = make_benchmark(benchmark, n_items, seed=seed)
+    f = node.disk.new_file(block_items, data.dtype, name=node.disk.next_file_name("cal"))
+    with BlockWriter(f, node.mem) as w:
+        w.write(data)
+    node.reset()  # input creation is not part of the measurement
+    t0 = node.clock.time
+    polyphase_sort(
+        f, node.disk, node.mem, n_tapes=n_tapes, compute=node.compute
+    )
+    return node.clock.time - t0
+
+
+def calibrate(
+    spec: ClusterSpec,
+    n_items: int,
+    block_items: int = 1024,
+    n_tapes: Optional[int] = None,
+    seed: int = 0,
+    benchmark: int | str = 0,
+) -> CalibrationResult:
+    """Fill the perf array by timing the sequential external sort.
+
+    Each node sorts ``n_items / p`` items on a fresh simulated cluster
+    (so there is no cross-node interference, as in the paper's protocol).
+    """
+    if n_items < spec.p:
+        raise ValueError(f"n_items={n_items} too small for p={spec.p}")
+    per_node = n_items // spec.p
+    times: list[float] = []
+    for rank in range(spec.p):
+        cluster = Cluster(spec)
+        cluster.reset()
+        times.append(
+            _sequential_sort_time(cluster, rank, per_node, block_items, n_tapes, seed, benchmark)
+        )
+    slowest = max(times)
+    speeds = [slowest / t for t in times]
+    return CalibrationResult(times=times, speeds=speeds, perf=PerfVector.from_speeds(speeds))
+
+
+@dataclass
+class SequentialSortRow:
+    """One (node, input size) cell of Table 2."""
+
+    node: str
+    n_items: int
+    stats: TrialStats
+
+
+def sequential_sort_table(
+    spec: ClusterSpec,
+    sizes: Sequence[int],
+    repeats: int = 3,
+    block_items: int = 1024,
+    n_tapes: Optional[int] = None,
+    benchmark: int | str = 0,
+) -> list[SequentialSortRow]:
+    """Regenerate the Table-2 grid: per node, per size, time mean ± std."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    rows: list[SequentialSortRow] = []
+    for rank in range(spec.p):
+        for n in sizes:
+            vals = []
+            for r in range(repeats):
+                cluster = Cluster(spec)
+                cluster.reset()
+                vals.append(
+                    _sequential_sort_time(
+                        cluster, rank, n, block_items, n_tapes, seed=r, benchmark=benchmark
+                    )
+                )
+            rows.append(
+                SequentialSortRow(spec.nodes[rank].name, n, TrialStats(tuple(vals)))
+            )
+    return rows

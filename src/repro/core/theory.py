@@ -1,0 +1,119 @@
+"""Theoretical bounds the paper states, used by tests and reports.
+
+* the PSRS load-balance theorem, heterogeneous form (paper §4): the
+  final amount of data on node i is at most ``2 * l_i`` (its initial
+  performance-proportional portion) plus ``d`` for duplicate keys
+  (§3.1: "the upper bound with d duplicates becomes U + d");
+* the per-step I/O bounds of Algorithm 1;
+* the PDM sort bound of Theorem 1 (delegated to
+  :class:`~repro.pdm.model.PDMConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.perf import PerfVector
+from repro.pdm.model import PDMConfig
+
+
+def load_balance_bound(n: int, perf: PerfVector, i: int, d_duplicates: int = 0) -> float:
+    """Max items node i may handle in the final merge: ``2*l_i + d``."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if d_duplicates < 0:
+        raise ValueError(f"d_duplicates must be >= 0, got {d_duplicates}")
+    return 2.0 * perf.optimal_share(n, i) + d_duplicates
+
+
+def max_duplicate_count(data: np.ndarray) -> int:
+    """The paper's ``d``: multiplicity of the most duplicated key."""
+    arr = np.asarray(data)
+    if arr.size == 0:
+        return 0
+    _, counts = np.unique(arr, return_counts=True)
+    return int(counts.max())
+
+
+@dataclass(frozen=True)
+class StepIOBounds:
+    """Per-step item-I/O upper bounds of Algorithm 1 for one node."""
+
+    step1_local_sort: float
+    step2_sampling: float
+    step3_partition: float
+    step4_redistribute: float
+    step5_final_merge: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.step1_local_sort
+            + self.step2_sampling
+            + self.step3_partition
+            + self.step4_redistribute
+            + self.step5_final_merge
+        )
+
+
+def step_io_bounds(
+    l_i: int,
+    perf: PerfVector,
+    i: int,
+    M: int,
+    B: int,
+    d_duplicates: int = 0,
+) -> StepIOBounds:
+    """Paper §4 per-step bounds, in item I/Os, for node i.
+
+    * step 1: ``2 l_i (1 + ceil(log_m l_i))``,
+    * step 2: ``L = (p-1) perf[i]`` sample reads ("very inferior" to step 1),
+    * step 3: ``2 Q`` where Q = l_i (read + write of the portion),
+    * step 4: ``2 l_i'`` with l_i' the received volume, itself <= the
+      load-balance bound,
+    * step 5: ``2 l_i' (1 + ceil(log_m l_i'))`` with l_i' <= 2 l_i + d.
+    """
+    cfg = PDMConfig(N=max(l_i, 1), M=M, B=B)
+    received_bound = load_balance_bound(
+        # l_i is node i's share of n; reconstruct n from it for the bound
+        # n * perf[i]/total = l_i  =>  n = l_i * total / perf[i]
+        round(l_i * perf.total / perf[i]) if l_i else 0,
+        perf,
+        i,
+        d_duplicates,
+    )
+    return StepIOBounds(
+        step1_local_sort=cfg.step1_io_bound(l_i),
+        step2_sampling=float((perf.p - 1) * perf[i]),
+        step3_partition=2.0 * l_i,
+        step4_redistribute=2.0 * received_bound,
+        step5_final_merge=cfg.step1_io_bound(int(np.ceil(received_bound))),
+    )
+
+
+def ideal_speedup(perf: PerfVector) -> float:
+    """Speedup of the hetero-aware parallel sort over the *slowest* node
+    running alone, if load balance and communication were perfect.
+
+    The slowest node alone processes n at speed min(perf); the cluster
+    processes n at aggregate speed sum(perf): ratio = total/min.
+    """
+    return perf.total / min(perf.values)
+
+
+def ideal_speedup_vs_fastest(perf: PerfVector) -> float:
+    """Speedup over the *fastest* node running alone: total/max."""
+    return perf.total / max(perf.values)
+
+
+def homogeneous_waste_factor(perf: PerfVector) -> float:
+    """Slowdown from treating a hetero cluster as homogeneous.
+
+    With equal shares, the slowest node (speed min) gets n/p and finishes
+    last in time ~ (n/p)/min; with perf-proportional shares every node
+    finishes in ~ n/total.  Ratio = total / (p * min) — e.g. 2.5x for
+    {1,1,4,4}; Table 3 measures ~2x (constant offsets dampen it).
+    """
+    return perf.total / (perf.p * min(perf.values))

@@ -1,0 +1,155 @@
+"""Tournament (loser) tree for k-way selection.
+
+The loser tree is the textbook engine for k-way merging (Knuth vol. 3,
+§5.4.1): an internal node stores the *loser* of the match between its
+subtrees, the overall winner bubbles to the root, and replacing the
+winner's leaf replays exactly one root-to-leaf path — ``ceil(log2 k)``
+comparisons per extracted item.
+
+Keys may be any comparable Python objects (numpy scalars included);
+``None`` is the +infinity sentinel marking an exhausted source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+
+class LoserTree:
+    """A k-leaf loser tree with replaceable leaves.
+
+    Parameters
+    ----------
+    keys:
+        Initial key per source; ``None`` marks an already-exhausted
+        source (treated as +infinity).
+    """
+
+    def __init__(self, keys: Sequence[object]) -> None:
+        k = len(keys)
+        if k < 1:
+            raise ValueError("need at least one source")
+        self.k = k
+        self._keys: list[object] = list(keys)
+        # _losers[0] holds the overall winner; _losers[1..k-1] the match losers.
+        self._losers = [0] * k
+        self.comparisons = 0
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _beats(self, a: int, b: int) -> bool:
+        """True if source ``a`` wins (has the smaller key) against ``b``."""
+        ka, kb = self._keys[a], self._keys[b]
+        self.comparisons += 1
+        if ka is None:
+            return False
+        if kb is None:
+            return True
+        return ka <= kb  # ties broken by play order; stability not required
+
+    def _build(self) -> None:
+        k = self.k
+        # Play a full round-robin-free tournament bottom-up.  Leaf i sits
+        # conceptually at internal position k + i; internal node j has
+        # children 2j and 2j+1.
+        winners = [0] * (2 * k)
+        for i in range(k):
+            winners[k + i] = i
+        for j in range(k - 1, 0, -1):
+            a, b = winners[2 * j], winners[2 * j + 1]
+            if self._beats(a, b):
+                winners[j], self._losers[j] = a, b
+            else:
+                winners[j], self._losers[j] = b, a
+        self._losers[0] = winners[1] if k > 1 else 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def winner(self) -> int:
+        """Index of the source holding the current minimum key."""
+        return self._losers[0]
+
+    @property
+    def winner_key(self) -> object:
+        """Current minimum key, or ``None`` if every source is exhausted."""
+        return self._keys[self._losers[0]]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._keys[self._losers[0]] is None
+
+    def key_of(self, source: int) -> object:
+        return self._keys[source]
+
+    # -- updates -----------------------------------------------------------
+
+    def replace_winner(self, new_key: Optional[object]) -> None:
+        """Replace the winner's key (``None`` = source exhausted) and
+        replay its path to the root."""
+        self.replace(self._losers[0], new_key)
+
+    def replace(self, source: int, new_key: Optional[object]) -> None:
+        """Replace ``source``'s key and replay its root path.
+
+        Replaying an arbitrary (non-winner) leaf is also correct — used by
+        replacement selection when a frozen source thaws at a run
+        boundary — at the price of one root-to-leaf path of comparisons.
+        """
+        if not (0 <= source < self.k):
+            raise IndexError(f"source {source} out of range 0..{self.k - 1}")
+        self._keys[source] = new_key
+        if self.k == 1:
+            return
+        cur = source
+        node = (source + self.k) // 2
+        while node >= 1:
+            opp = self._losers[node]
+            if self._beats(opp, cur):
+                self._losers[node] = cur
+                cur = opp
+            node //= 2
+        self._losers[0] = cur
+
+    def pop_push(self, new_key: Optional[object]) -> tuple[object, int]:
+        """Extract the minimum and replace it in one call.
+
+        Returns ``(min_key, source_index)``.  Raises if exhausted.
+        """
+        src = self._losers[0]
+        key = self._keys[src]
+        if key is None:
+            raise RuntimeError("all sources exhausted")
+        self.replace(src, new_key)
+        return key, src
+
+
+def merge_iterables(sources: Sequence, key: Optional[Callable] = None) -> list:
+    """Merge already-sorted iterables with a loser tree (reference path).
+
+    A convenience used by tests to cross-check the block-vectorised merge
+    engine against the textbook structure.
+    """
+    iters = [iter(s) for s in sources]
+
+    def pull(i: int):
+        try:
+            return next(iters[i])
+        except StopIteration:
+            return None
+
+    heads = [pull(i) for i in range(len(iters))]
+    if not heads:
+        return []
+    keyed = [None if h is None else (key(h) if key else h) for h in heads]
+    values = list(heads)
+    tree = LoserTree(keyed)
+    out = []
+    while not tree.exhausted:
+        src = tree.winner
+        out.append(values[src])
+        nxt = pull(src)
+        values[src] = nxt
+        tree.replace(src, None if nxt is None else (key(nxt) if key else nxt))
+    return out

@@ -1,0 +1,249 @@
+"""Block-buffered k-way merging of sorted runs under a memory budget.
+
+Two engines, identical observable semantics:
+
+* :func:`merge_cursors` — the production engine.  Per round, each run
+  holds one buffered block; the safe horizon ``t`` is the minimum of the
+  per-run buffer maxima; every buffered item ``<= t`` can be emitted this
+  round (any unseen item of run *i* is ``>=`` its buffer max ``>= t``),
+  so the round gathers them, sorts the gathered chunk in core and streams
+  it out.  At least one whole buffer drains per round, so the number of
+  rounds is bounded by the total block count — the Python-level overhead
+  is O(blocks·k) while the data plane stays in numpy.
+* :func:`merge_cursors_itemwise` — the textbook loser-tree engine
+  (ceil(log2 k) comparisons per item).  Used for cross-checking and for
+  small merges.
+
+A k-way merge needs k input buffers plus one output buffer in core:
+``k <= M/B - 1`` (:func:`max_merge_order`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.extsort.losertree import LoserTree
+from repro.pdm.blockfile import BlockFile, BlockWriter
+from repro.pdm.memory import MemoryManager
+
+ComputeHook = Optional[Callable[[float], None]]
+
+
+def max_merge_order(mem: MemoryManager, B: int) -> int:
+    """Largest k for a k-way merge: k input blocks + 1 output block <= M."""
+    if mem.capacity is None:
+        return 1 << 16
+    k = mem.available // B - 1
+    if k < 2:
+        raise ValueError(
+            f"memory budget too small to merge: available={mem.available}, "
+            f"B={B} (need >= 3 blocks)"
+        )
+    return k
+
+
+@dataclass(frozen=True)
+class RunRef:
+    """A sorted run = an item range [start, stop) of a block file."""
+
+    file: BlockFile
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start <= self.stop <= self.file.n_items):
+            raise ValueError(
+                f"run range [{self.start}, {self.stop}) outside file of "
+                f"{self.file.n_items} items"
+            )
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    @staticmethod
+    def whole(file: BlockFile) -> "RunRef":
+        return RunRef(file, 0, file.n_items)
+
+
+class RunCursor:
+    """Buffered forward cursor over one sorted run.
+
+    Reads the underlying file block by block (each read charged to the
+    disk), pinning buffered-but-unconsumed items in the memory manager.
+    Item addressing exploits the BlockFile invariant that every block
+    except the last holds exactly B items.
+    """
+
+    def __init__(self, run: RunRef, mem: MemoryManager) -> None:
+        self.run = run
+        self.mem = mem
+        self._pos = run.start  # next unread item offset in the file
+        self._buf: Optional[np.ndarray] = None
+        self._buf_pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._buf is None and self._pos >= self.run.stop
+
+    def _fill(self) -> None:
+        """Ensure a non-empty buffer or exhaustion."""
+        if self._buf is not None or self._pos >= self.run.stop:
+            return
+        B = self.run.file.B
+        block_index = self._pos // B
+        block = self.run.file.read_block(block_index)
+        lo = self._pos - block_index * B
+        hi = min(block.size, self.run.stop - block_index * B)
+        self._buf = block[lo:hi]
+        self._buf_pos = 0
+        self._pos = block_index * B + hi
+        self.mem.acquire(self._buf.size)
+
+    def buffer_max(self):
+        """Largest key currently buffered (fills the buffer if needed)."""
+        self._fill()
+        if self._buf is None:
+            raise RuntimeError("cursor exhausted")
+        return self._buf[-1]
+
+    def take_leq(self, t) -> np.ndarray:
+        """Pop every buffered item ``<= t`` (possibly none)."""
+        self._fill()
+        if self._buf is None:
+            return np.empty(0, dtype=self.run.file.dtype)
+        cut = int(np.searchsorted(self._buf, t, side="right"))
+        out = self._buf[self._buf_pos : cut]
+        taken = cut - self._buf_pos
+        if taken:
+            self.mem.release(taken)
+        self._buf_pos = cut
+        if self._buf_pos >= self._buf.size:
+            self._buf = None
+        return out
+
+    def take_one(self):
+        """Pop a single item (item-at-a-time engine)."""
+        self._fill()
+        if self._buf is None:
+            raise RuntimeError("cursor exhausted")
+        item = self._buf[self._buf_pos]
+        self._buf_pos += 1
+        self.mem.release(1)
+        if self._buf_pos >= self._buf.size:
+            self._buf = None
+        return item
+
+    def take_upto(self, n: int) -> np.ndarray:
+        """Pop up to ``n`` items from the current buffer (message chunking)."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self._fill()
+        if self._buf is None:
+            return np.empty(0, dtype=self.run.file.dtype)
+        cut = min(self._buf_pos + n, self._buf.size)
+        out = self._buf[self._buf_pos : cut]
+        self.mem.release(cut - self._buf_pos)
+        self._buf_pos = cut
+        if self._buf_pos >= self._buf.size:
+            self._buf = None
+        return out
+
+    def peek(self):
+        """Current head item without consuming, or None if exhausted."""
+        self._fill()
+        if self._buf is None:
+            return None
+        return self._buf[self._buf_pos]
+
+    def drop(self) -> None:
+        """Release any buffered items (abandon the cursor)."""
+        if self._buf is not None:
+            self.mem.release(self._buf.size - self._buf_pos)
+            self._buf = None
+
+
+def merge_cursors(
+    cursors: Sequence[RunCursor],
+    writer: BlockWriter,
+    mem: MemoryManager,
+    compute: ComputeHook = None,
+) -> int:
+    """Vectorised k-way merge; returns the number of items written."""
+    active = [c for c in cursors if not c.exhausted]
+    k = max(1, len(active))
+    total = 0
+    log_k = float(np.log2(max(2, k)))
+    while active:
+        t = active[0].buffer_max()
+        for c in active[1:]:
+            m = c.buffer_max()
+            if m < t:
+                t = m
+        parts = [p for p in (c.take_leq(t) for c in active) if p.size]
+        if len(parts) == 1:
+            chunk = parts[0]
+            with mem.reserve(chunk.size):
+                writer.write(chunk)
+        else:
+            n = sum(p.size for p in parts)
+            with mem.reserve(n):
+                chunk = np.concatenate(parts)
+                chunk.sort(kind="stable")
+                writer.write(chunk)
+        total += chunk.size
+        if compute is not None:
+            compute(chunk.size * log_k)
+        active = [c for c in active if not c.exhausted]
+    return total
+
+
+def merge_cursors_itemwise(
+    cursors: Sequence[RunCursor],
+    writer: BlockWriter,
+    mem: MemoryManager,
+    compute: ComputeHook = None,
+) -> int:
+    """Loser-tree k-way merge, one item at a time (reference engine)."""
+    heads = [c.peek() for c in cursors]
+    tree = LoserTree([None if h is None else h for h in heads])
+    total = 0
+    while not tree.exhausted:
+        src = tree.winner
+        writer.write_one(cursors[src].take_one())
+        total += 1
+        tree.replace(src, cursors[src].peek())
+    if compute is not None:
+        compute(float(tree.comparisons))
+    return total
+
+
+def merge_runs(
+    runs: Sequence[RunRef],
+    out: BlockFile,
+    mem: MemoryManager,
+    compute: ComputeHook = None,
+    engine: str = "vector",
+) -> int:
+    """Merge ``runs`` into ``out`` in one k-way pass.
+
+    The caller must guarantee ``len(runs) <= max_merge_order(mem, B)``;
+    multi-pass scheduling lives in the sort algorithms.
+    """
+    k_max = max_merge_order(mem, out.B)
+    if len(runs) > k_max:
+        raise ValueError(f"{len(runs)} runs exceed merge order {k_max}")
+    if engine not in ("vector", "itemwise"):
+        raise ValueError(f"unknown merge engine {engine!r}")
+    cursors = [RunCursor(r, mem) for r in runs]
+    try:
+        with BlockWriter(out, mem) as w:
+            if engine == "vector":
+                return merge_cursors(cursors, w, mem, compute)
+            return merge_cursors_itemwise(cursors, w, mem, compute)
+    finally:
+        for c in cursors:
+            c.drop()

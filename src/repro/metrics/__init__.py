@@ -1,0 +1,14 @@
+"""Metrics, trial statistics, and paper-style table reporting."""
+
+from repro.metrics.expansion import PartitionStats, partition_stats
+from repro.metrics.timing import TrialStats, repeat_trials
+from repro.metrics.report import format_table, Table
+
+__all__ = [
+    "PartitionStats",
+    "Table",
+    "TrialStats",
+    "format_table",
+    "partition_stats",
+    "repeat_trials",
+]

@@ -1,0 +1,71 @@
+"""Repeated-trial statistics.
+
+The paper reports each configuration over 30 experiments with mean and
+standard deviation.  The simulation is deterministic given a seed, so a
+"trial" here varies the input seed: the spread measures data-dependent
+variation (run counts, partition skew), which is exactly what the
+paper's deviation column captures net of OS noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean / standard deviation / extremes over repeated trials."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("need at least one trial")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1); 0 for a single trial."""
+        if self.n < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.5f} ± {self.std:.5f} (n={self.n})"
+
+
+def repeat_trials(
+    fn: Callable[[int], float], seeds: Sequence[int]
+) -> TrialStats:
+    """Run ``fn(seed)`` for every seed and collect the statistics."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return TrialStats(tuple(float(fn(s)) for s in seeds))
+
+
+def collect_trials(
+    fn: Callable[[int], T], seeds: Sequence[int], metric: Callable[[T], float]
+) -> tuple[list[T], TrialStats]:
+    """Run trials keeping full results; stats over ``metric(result)``."""
+    results = [fn(s) for s in seeds]
+    return results, TrialStats(tuple(float(metric(r)) for r in results))

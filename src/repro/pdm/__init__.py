@@ -1,0 +1,51 @@
+"""Parallel Disk Model (PDM) substrate.
+
+Implements the storage model the paper measures against: Vitter's
+parallel disk model (PDM), in which an algorithm's cost is the number
+of *block* I/O operations it performs.  The model parameters are
+
+    N  problem size (items)
+    M  internal memory size (items)
+    B  block transfer size (items)
+    D  number of independent disk drives
+    P  number of CPUs
+
+with the shortcuts ``n = N/B`` and ``m = M/B``.
+
+This package provides:
+
+* :class:`~repro.pdm.model.PDMConfig` — the parameter bundle and the
+  theoretical I/O bounds (paper Theorem 1),
+* :class:`~repro.pdm.disk.SimDisk` — a simulated block device that counts
+  I/Os and charges model time (seek + transfer) per block access,
+* :class:`~repro.pdm.blockfile.BlockFile` — a growable file of B-item
+  blocks living on a disk, plus buffered readers/writers,
+* :class:`~repro.pdm.memory.MemoryManager` — enforcement of the M-item
+  in-core budget (out-of-core algorithms must never pin more),
+* :class:`~repro.pdm.striping.StripedFile` — D-disk striping (Figure 1,
+  organisation (a)),
+* :class:`~repro.pdm.stats.IOStats` — I/O accounting.
+"""
+
+from repro.pdm.blockfile import BlockFile, BlockReader, BlockWriter
+from repro.pdm.disk import DiskParams, SimDisk
+from repro.pdm.filestore import DiskBackedBlockFile, FileStore
+from repro.pdm.memory import MemoryBudgetError, MemoryManager
+from repro.pdm.model import PDMConfig
+from repro.pdm.stats import IOStats
+from repro.pdm.striping import StripedFile
+
+__all__ = [
+    "BlockFile",
+    "BlockReader",
+    "BlockWriter",
+    "DiskBackedBlockFile",
+    "DiskParams",
+    "FileStore",
+    "IOStats",
+    "MemoryBudgetError",
+    "MemoryManager",
+    "PDMConfig",
+    "SimDisk",
+    "StripedFile",
+]

@@ -1,0 +1,149 @@
+"""Simulated block device.
+
+A :class:`SimDisk` does not store bytes itself (block payloads live in the
+:class:`~repro.pdm.blockfile.BlockFile` objects created on it); it is the
+*cost and accounting* surface: every block read or write is counted in
+:class:`~repro.pdm.stats.IOStats` and charged a model service time of
+
+    cost = seek_time + payload_bytes / bandwidth
+
+optionally scaled by the owning node's I/O slowdown (heterogeneity), and
+reported to an observer callback so the node's virtual clock advances.
+
+Default constants approximate the paper's late-90s SCSI drives (Table 1):
+~8 ms average access, ~20 MB/s sustained transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.pdm.stats import IOStats
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Service-time model of one drive.
+
+    Attributes
+    ----------
+    seek_time:
+        Fixed overhead per block access, seconds.  Covers seek +
+        rotational latency + command overhead.
+    bandwidth:
+        Sustained transfer rate, bytes/second.
+    """
+
+    seek_time: float = 8e-3
+    bandwidth: float = 20e6
+
+    def __post_init__(self) -> None:
+        if self.seek_time < 0:
+            raise ValueError(f"seek_time must be >= 0, got {self.seek_time}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    def access_cost(self, nbytes: int) -> float:
+        """Model service time for one block access of ``nbytes`` payload."""
+        return self.seek_time + nbytes / self.bandwidth
+
+
+#: Paper-era SCSI drive (Table 1: 8 GB / 4 GB SCSI disks).
+SCSI_1999 = DiskParams(seek_time=8e-3, bandwidth=20e6)
+
+#: A fast modern-ish drive, for sensitivity experiments.
+FAST_DISK = DiskParams(seek_time=1e-4, bandwidth=500e6)
+
+
+class SimDisk:
+    """One simulated independent drive (the PDM's ``D`` dimension).
+
+    Parameters
+    ----------
+    params:
+        Service-time model.
+    name:
+        Human-readable label (shows up in traces and error messages).
+    slowdown:
+        Multiplicative service-time factor (>= 0).  The paper's loaded
+        nodes are slower at *everything*, including their I/O; a node's
+        heterogeneity factor is applied here.
+    observer:
+        Called with the service time of every I/O; the owning
+        :class:`~repro.cluster.node.SimNode` uses this to advance its
+        virtual clock.
+    """
+
+    def __init__(
+        self,
+        params: DiskParams = SCSI_1999,
+        name: str = "disk",
+        slowdown: float = 1.0,
+        observer: Optional[Callable[[float], None]] = None,
+        parallelism: int = 1,
+    ) -> None:
+        if slowdown < 0:
+            raise ValueError(f"slowdown must be >= 0, got {slowdown}")
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.params = params
+        self.name = name
+        self.slowdown = slowdown
+        self.observer = observer
+        #: Number of independent drives behind this logical device (the
+        #: PDM's D).  Streaming access amortises across the stripe, so
+        #: service time divides by D while the block-I/O *count* — the
+        #: PDM cost measure — is unchanged (Theorem 1's n/D factor).
+        self.parallelism = parallelism
+        self.stats = IOStats()
+        self.file_factory = None
+        self._file_counter = 0
+
+    def next_file_name(self, prefix: str = "f") -> str:
+        """Fresh unique file name on this disk (for temp run files)."""
+        self._file_counter += 1
+        return f"{self.name}/{prefix}{self._file_counter}"
+
+    def new_file(self, B: int, dtype, name=None):
+        """Create a block file on this disk through its file factory.
+
+        By default files store their payload in process memory; install a
+        :class:`~repro.pdm.filestore.FileStore`'s ``create`` via
+        :attr:`file_factory` to spill every file this disk manufactures
+        to real host storage (true out-of-core operation).
+        """
+        if name is None:
+            name = self.next_file_name()
+        if self.file_factory is not None:
+            return self.file_factory(self, B, dtype, name)
+        from repro.pdm.blockfile import BlockFile
+
+        return BlockFile(self, B, dtype, name=name)
+
+    def charge_read(self, n_items: int, itemsize: int) -> float:
+        """Account one block read of ``n_items`` items; returns its cost."""
+        cost = (
+            self.params.access_cost(n_items * itemsize)
+            * self.slowdown
+            / self.parallelism
+        )
+        self.stats.record_read(n_items, cost)
+        if self.observer is not None:
+            self.observer(cost)
+        return cost
+
+    def charge_write(self, n_items: int, itemsize: int) -> float:
+        """Account one block write of ``n_items`` items; returns its cost."""
+        cost = (
+            self.params.access_cost(n_items * itemsize)
+            * self.slowdown
+            / self.parallelism
+        )
+        self.stats.record_write(n_items, cost)
+        if self.observer is not None:
+            self.observer(cost)
+        return cost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimDisk({self.name!r}, {self.stats})"

@@ -1,0 +1,141 @@
+"""Real-file-backed block files.
+
+:class:`DiskBackedBlockFile` keeps block payloads in an actual operating
+system file instead of process memory, so the library can sort datasets
+larger than host RAM *for real* (the simulation's cost model is
+unchanged — the SimDisk still charges model time; the OS file is the
+storage plane).  Used by the out-of-core example and the persistence
+tests; the in-memory store remains the default because the test suite's
+thousands of tiny files are faster that way.
+
+A :class:`FileStore` owns a spill directory and hands out backed files;
+it is also a context manager that removes the directory on exit.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+from repro.pdm.blockfile import BlockFile
+from repro.pdm.disk import SimDisk
+
+
+class DiskBackedBlockFile(BlockFile):
+    """A BlockFile whose payload lives in one binary file on the host FS.
+
+    Blocks are appended sequentially; the block-size invariant (all full
+    except possibly the last) makes item offsets computable, so a block
+    read is a single ``seek + read``.
+    """
+
+    def __init__(
+        self,
+        disk: SimDisk,
+        B: int,
+        dtype: np.dtype | type = np.uint32,
+        name: Optional[str] = None,
+        path: Optional[str] = None,
+        directory: Optional[str] = None,
+    ) -> None:
+        if path is None:
+            fd, path = tempfile.mkstemp(suffix=".blk", dir=directory)
+            os.close(fd)
+            self._owns_path = True
+        else:
+            self._owns_path = False
+        self.path = path
+        super().__init__(disk, B, dtype, name)
+
+    # -- storage hooks -----------------------------------------------------
+
+    def _init_store(self) -> None:
+        with open(self.path, "wb"):
+            pass  # truncate
+
+    def _store_append(self, arr: np.ndarray) -> None:
+        with open(self.path, "ab") as fh:
+            fh.write(np.ascontiguousarray(arr, dtype=self.dtype).tobytes())
+
+    def _store_load(self, index: int) -> np.ndarray:
+        if not (0 <= index < len(self._block_sizes)):
+            raise IndexError(f"block {index} out of range 0..{len(self._block_sizes) - 1}")
+        offset = index * self.B * self.itemsize
+        count = self._block_sizes[index]
+        with open(self.path, "rb") as fh:
+            fh.seek(offset)
+            raw = fh.read(count * self.itemsize)
+        return np.frombuffer(raw, dtype=self.dtype)
+
+    def _store_clear(self) -> None:
+        with open(self.path, "wb"):
+            pass
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def delete(self) -> None:
+        """Remove the backing file from the host filesystem."""
+        if self._owns_path and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiskBackedBlockFile({self.name!r} -> {self.path!r}, "
+            f"{self.n_items} items)"
+        )
+
+
+class FileStore:
+    """A spill directory that manufactures disk-backed block files.
+
+    Plug it into a node with ``node.disk`` and pass ``store.create`` where
+    a fresh file is needed; or use :func:`use_file_backed_files` to make a
+    whole cluster spill to real storage.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        if directory is None:
+            self.directory = tempfile.mkdtemp(prefix="repro-spill-")
+            self._owns_dir = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self.directory = directory
+            self._owns_dir = False
+        self._count = 0
+
+    def create(
+        self,
+        disk: SimDisk,
+        B: int,
+        dtype: np.dtype | type = np.uint32,
+        name: Optional[str] = None,
+    ) -> DiskBackedBlockFile:
+        self._count += 1
+        path = os.path.join(self.directory, f"f{self._count:06d}.blk")
+        return DiskBackedBlockFile(disk, B, dtype, name=name, path=path)
+
+    @property
+    def files_created(self) -> int:
+        return self._count
+
+    def bytes_on_disk(self) -> int:
+        """Total size of the spill directory's current contents."""
+        total = 0
+        for entry in os.scandir(self.directory):
+            if entry.is_file():
+                total += entry.stat().st_size
+        return total
+
+    def cleanup(self) -> None:
+        if self._owns_dir and os.path.isdir(self.directory):
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "FileStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()

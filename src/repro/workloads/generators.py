@@ -1,0 +1,150 @@
+"""The eight input benchmarks.
+
+Benchmark 0 (uniform random) is the one the paper's tables report;
+benchmarks 1-7 are the classic adversarial inputs of the parallel
+sorting literature (duplicates, presortedness, skew) used by the
+load-balance and duplicates experiments.
+
+All generators are deterministic in the seed and produce integer keys
+(the paper sorts C ``int``s over MPI; we default to unsigned 32-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named input distribution."""
+
+    benchmark_id: int
+    name: str
+    description: str
+    make: Callable[[int, np.random.Generator, np.dtype], np.ndarray] = field(
+        repr=False
+    )
+
+
+def _key_space(dtype: np.dtype) -> int:
+    info = np.iinfo(dtype)
+    return int(info.max) - int(info.min) + 1
+
+
+def _uniform(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
+    info = np.iinfo(dtype)
+    return rng.integers(info.min, int(info.max) + 1, size=n, dtype=dtype)
+
+
+def _gaussian(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
+    info = np.iinfo(dtype)
+    mid = (int(info.max) + int(info.min)) / 2.0
+    spread = _key_space(dtype) / 8.0
+    vals = rng.normal(mid, spread, size=n)
+    return np.clip(vals, info.min, info.max).astype(dtype)
+
+
+def _zipf_duplicates(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
+    """Heavily duplicated keys: ~sqrt(n) distinct values, Zipf-weighted."""
+    n_distinct = max(2, int(np.sqrt(max(n, 4))))
+    ranks = rng.zipf(1.3, size=n) % n_distinct
+    info = np.iinfo(dtype)
+    values = rng.integers(info.min, int(info.max) + 1, size=n_distinct, dtype=dtype)
+    return values[ranks]
+
+
+def _all_equal(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
+    info = np.iinfo(dtype)
+    v = rng.integers(info.min, int(info.max) + 1, dtype=dtype)
+    return np.full(n, v, dtype=dtype)
+
+
+def _sorted(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
+    out = _uniform(n, rng, dtype)
+    out.sort()
+    return out
+
+
+def _reverse_sorted(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
+    return _sorted(n, rng, dtype)[::-1].copy()
+
+
+def _nearly_sorted(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
+    """Sorted input with ~1% random transpositions."""
+    out = _sorted(n, rng, dtype)
+    n_swaps = max(1, n // 100)
+    a = rng.integers(0, n, size=n_swaps)
+    b = rng.integers(0, n, size=n_swaps)
+    out[a], out[b] = out[b].copy(), out[a].copy()
+    return out
+
+
+def _staggered(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
+    """Bucket-skewed ("staggered") input: value range correlates with
+    position, defeating naive range partitioning."""
+    info = np.iinfo(dtype)
+    n_buckets = 16
+    out = np.empty(n, dtype=dtype)
+    bounds = np.linspace(0, n, n_buckets + 1).astype(int)
+    width = _key_space(dtype) // n_buckets
+    order = (np.arange(n_buckets) * 7 + 3) % n_buckets  # scrambled bucket order
+    for i in range(n_buckets):
+        lo, hi = bounds[i], bounds[i + 1]
+        base = int(info.min) + int(order[i]) * width
+        out[lo:hi] = rng.integers(base, base + width, size=hi - lo, dtype=np.int64).astype(
+            dtype
+        )
+    return out
+
+
+BENCHMARKS: dict[int, WorkloadSpec] = {
+    0: WorkloadSpec(0, "uniform", "uniform random keys (the paper's tables)", _uniform),
+    1: WorkloadSpec(1, "gaussian", "gaussian-distributed keys", _gaussian),
+    2: WorkloadSpec(2, "zipf", "zipf-weighted heavy duplicates (~sqrt(n) distinct)", _zipf_duplicates),
+    3: WorkloadSpec(3, "all_equal", "a single duplicated key (worst-case d)", _all_equal),
+    4: WorkloadSpec(4, "sorted", "already sorted ascending", _sorted),
+    5: WorkloadSpec(5, "reverse", "sorted descending", _reverse_sorted),
+    6: WorkloadSpec(6, "nearly_sorted", "sorted with ~1% transpositions", _nearly_sorted),
+    7: WorkloadSpec(7, "staggered", "position-correlated bucket skew", _staggered),
+}
+
+_BY_NAME = {spec.name: spec for spec in BENCHMARKS.values()}
+
+
+def make_benchmark(
+    which: int | str,
+    n: int,
+    seed: int = 0,
+    dtype: np.dtype | type = np.uint32,
+) -> np.ndarray:
+    """Generate benchmark ``which`` (id or name) with ``n`` items."""
+    if isinstance(which, str):
+        try:
+            spec = _BY_NAME[which]
+        except KeyError:
+            raise KeyError(
+                f"unknown benchmark {which!r}; have {sorted(_BY_NAME)}"
+            ) from None
+    else:
+        try:
+            spec = BENCHMARKS[which]
+        except KeyError:
+            raise KeyError(
+                f"unknown benchmark id {which}; have {sorted(BENCHMARKS)}"
+            ) from None
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = np.random.default_rng(seed)
+    out = spec.make(n, rng, np.dtype(dtype))
+    assert out.size == n and out.dtype == np.dtype(dtype)
+    return out
+
+
+def generate(
+    name: int | str, n: int, seed: int = 0, dtype: np.dtype | type = np.uint32
+) -> np.ndarray:
+    """Alias of :func:`make_benchmark` (reads better at call sites)."""
+    return make_benchmark(name, n, seed, dtype)

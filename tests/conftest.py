@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdm.blockfile import BlockFile, BlockWriter
+from repro.pdm.disk import DiskParams, SimDisk
+from repro.pdm.memory import MemoryManager
+
+
+def make_disk(name: str = "d0", seek: float = 1e-3, bw: float = 50e6) -> SimDisk:
+    return SimDisk(DiskParams(seek_time=seek, bandwidth=bw), name=name)
+
+
+def file_from_array(
+    arr: np.ndarray,
+    disk: SimDisk,
+    B: int,
+    mem: MemoryManager | None = None,
+    dtype=np.uint32,
+) -> BlockFile:
+    """Write ``arr`` to a fresh BlockFile (charging the disk)."""
+    f = BlockFile(disk, B, dtype, name=disk.next_file_name("in"))
+    m = mem if mem is not None else MemoryManager.unlimited()
+    with BlockWriter(f, m) as w:
+        w.write(np.asarray(arr, dtype=dtype))
+    return f
+
+
+@pytest.fixture
+def disk() -> SimDisk:
+    return make_disk()
+
+
+@pytest.fixture
+def mem_unlimited() -> MemoryManager:
+    return MemoryManager.unlimited()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,133 @@
+"""Tests for virtual clocks, nodes and traces."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.node import CpuParams, SimNode
+from repro.cluster.simclock import VirtualClock, barrier
+from repro.cluster.trace import Trace
+from repro.pdm.disk import DiskParams
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        c = VirtualClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.time == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to_never_goes_back(self):
+        c = VirtualClock(start=5.0)
+        c.advance_to(3.0)
+        assert c.time == 5.0
+        c.advance_to(7.0)
+        assert c.time == 7.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1)
+
+    def test_reset(self):
+        c = VirtualClock()
+        c.advance(3)
+        c.reset()
+        assert c.time == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=8))
+    def test_barrier_syncs_to_max(self, times):
+        clocks = [VirtualClock(start=t) for t in times]
+        t = barrier(clocks)
+        assert t == pytest.approx(max(times))
+        assert all(c.time == t for c in clocks)
+
+    def test_barrier_empty(self):
+        assert barrier([]) == 0.0
+
+
+class TestSimNode:
+    def test_compute_scales_with_speed(self):
+        slow = SimNode(0, speed=1.0, cpu_params=CpuParams(seconds_per_op=1e-6))
+        fast = SimNode(1, speed=4.0, cpu_params=CpuParams(seconds_per_op=1e-6))
+        slow.compute(1000)
+        fast.compute(1000)
+        assert slow.clock.time == pytest.approx(4 * fast.clock.time)
+
+    def test_disk_observer_advances_clock(self):
+        n = SimNode(0, disk_params=DiskParams(seek_time=0.01, bandwidth=1e6))
+        n.disk.charge_write(100, 4)
+        assert n.clock.time == pytest.approx(0.01 + 400 / 1e6)
+
+    def test_io_scaled_by_speed(self):
+        loaded = SimNode(0, speed=0.25, disk_params=DiskParams(seek_time=0.01, bandwidth=1e6))
+        loaded.disk.charge_write(100, 4)
+        assert loaded.clock.time == pytest.approx(4 * (0.01 + 400 / 1e6))
+
+    def test_io_not_scaled_when_disabled(self):
+        n = SimNode(
+            0,
+            speed=0.25,
+            disk_params=DiskParams(seek_time=0.01, bandwidth=1e6),
+            io_scaled_by_speed=False,
+        )
+        n.disk.charge_write(100, 4)
+        assert n.clock.time == pytest.approx(0.01 + 400 / 1e6)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SimNode(-1)
+        with pytest.raises(ValueError):
+            SimNode(0, speed=0)
+        with pytest.raises(ValueError):
+            CpuParams(seconds_per_op=0)
+        with pytest.raises(ValueError):
+            SimNode(0).compute(-5)
+
+    def test_reset(self):
+        n = SimNode(0)
+        n.compute(100)
+        n.disk.charge_read(4, 4)
+        n.reset()
+        assert n.clock.time == 0.0
+        assert n.disk.stats.block_ios == 0
+        assert n.ops_charged == 0
+
+    def test_default_name(self):
+        assert SimNode(3).name == "node3"
+
+
+class TestTrace:
+    def test_record_and_summary(self):
+        t = Trace()
+        t.record("sort", 0, 0.0, 2.0)
+        t.record("sort", 1, 0.0, 4.0)
+        t.record("merge", 0, 4.0, 5.0)
+        assert t.steps() == ["sort", "merge"]
+        assert t.step_duration("sort") == pytest.approx(4.0)
+        assert t.summary()["merge"] == pytest.approx(1.0)
+
+    def test_imbalance(self):
+        t = Trace()
+        t.record("s", 0, 0.0, 1.0)
+        t.record("s", 1, 0.0, 3.0)
+        assert t.imbalance("s") == pytest.approx(1.5)
+
+    def test_imbalance_empty_and_zero(self):
+        t = Trace()
+        assert t.imbalance("none") == 1.0
+        t.record("z", 0, 1.0, 1.0)
+        assert t.imbalance("z") == 1.0
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Trace().record("s", 0, 2.0, 1.0)
+
+    def test_render_contains_steps(self):
+        t = Trace()
+        t.record("phase1", 0, 0.0, 1.0)
+        out = t.render()
+        assert "phase1" in out and "duration" in out

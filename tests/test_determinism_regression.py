@@ -1,0 +1,100 @@
+"""Determinism and model-regression tests.
+
+The simulation must be bit-reproducible given a seed, and the cost
+model's outputs for pinned configurations are snapshotted here: a change
+to any constant or charging rule shows up as an exact-value failure, so
+model drift is always a conscious, reviewed decision (update the golden
+values together with docs/MODEL.md and EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Cluster, paper_cluster
+from repro.core.external_psrs import PSRSConfig, sort_array
+from repro.core.perf import PerfVector
+from repro.extsort.polyphase import polyphase_sort
+from repro.pdm.blockfile import BlockFile, BlockWriter
+from repro.pdm.disk import DiskParams, SimDisk
+from repro.pdm.memory import MemoryManager
+from repro.workloads.generators import make_benchmark
+
+PERF = PerfVector([4, 4, 1, 1])
+N = PERF.nearest_exact(2**14)
+CFG = PSRSConfig(block_items=256, message_items=2048, n_tapes=8)
+
+
+def _paper_run():
+    data = make_benchmark(0, N, seed=42)
+    cluster = Cluster(paper_cluster(memory_items=2048))
+    return sort_array(cluster, PERF, data, CFG)
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self):
+        a, b = _paper_run(), _paper_run()
+        assert a.elapsed == b.elapsed
+        assert a.received_sizes == b.received_sizes
+        np.testing.assert_array_equal(a.pivots, b.pivots)
+        np.testing.assert_array_equal(a.to_array(), b.to_array())
+        assert a.io.block_ios == b.io.block_ios
+        assert a.network_bytes == b.network_bytes
+
+    def test_different_seed_different_trace(self):
+        a = _paper_run()
+        data = make_benchmark(0, N, seed=43)
+        cluster = Cluster(paper_cluster(memory_items=2048))
+        b = sort_array(cluster, PERF, data, CFG)
+        assert not np.array_equal(a.pivots, b.pivots)
+
+
+class TestModelRegression:
+    """Golden values for the pinned paper-cluster configuration.
+
+    Exact equality on integer counters; tight tolerance on times (pure
+    float arithmetic, still deterministic — approx guards against
+    summation-order refactors only).
+    """
+
+    def test_psrs_golden(self):
+        res = _paper_run()
+        assert res.elapsed == pytest.approx(0.2653522112176535, rel=1e-12)
+        assert res.io.block_ios == 792
+        assert res.io.item_ios == 191654
+        assert res.network_messages == 22
+        assert res.network_bytes == 43112
+        assert res.received_sizes == [6729, 6525, 1662, 1474]
+        assert res.pivots.tolist() == [1759652724, 3447839338, 3908321912]
+
+    def test_polyphase_golden(self):
+        disk = SimDisk(DiskParams(seek_time=5e-4, bandwidth=15e6))
+        mem = MemoryManager(2048)
+        f = BlockFile(disk, 256, np.uint32)
+        with BlockWriter(f, mem) as w:
+            w.write(make_benchmark(0, 2**14, seed=42))
+        base = disk.stats.snapshot()
+        res = polyphase_sort(f, disk, mem, n_tapes=8)
+        delta = disk.stats - base
+        assert res.n_initial_runs == 10
+        assert res.n_phases == 2
+        assert delta.block_ios == 300
+        assert delta.busy_time == pytest.approx(0.17048, rel=1e-9)
+
+    def test_link_model_golden(self):
+        from repro.cluster.network import FAST_ETHERNET, MYRINET
+
+        # One 32 KiB message in 32 KiB packets.
+        assert FAST_ETHERNET.message_time(32768, 32768) == pytest.approx(
+            90e-6 + 32768 / 12.5e6
+        )
+        # A 32-byte message pays the sub-MTU stall on Ethernet only.
+        assert FAST_ETHERNET.message_time(32, 32768) == pytest.approx(
+            90e-6 + 32 / 12.5e6 + 2e-3
+        )
+        assert MYRINET.message_time(32, 32768) == pytest.approx(9e-6 + 32 / 160e6)
+
+    def test_paper_disk_golden(self):
+        spec = paper_cluster()
+        d = spec.nodes[0].disk
+        # One 1 KiB block (256 uint32) on the unloaded SCSI model.
+        assert d.access_cost(1024) == pytest.approx(5e-4 + 1024 / 15e6)

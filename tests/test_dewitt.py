@@ -1,0 +1,134 @@
+"""Tests for the DeWitt-style probabilistic-splitting sort (§2 comparator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Cluster, heterogeneous_cluster, homogeneous_cluster
+from repro.core.dewitt import DeWittConfig, sort_array_dewitt, sort_dewitt_distributed
+from repro.core.perf import PerfVector
+from repro.workloads.generators import make_benchmark
+from repro.workloads.records import verify_sorted_permutation
+
+
+def _run(perf_vals, n=8_000, memory=1024, seed=0, bench=0, **cfg_kw):
+    perf = PerfVector(perf_vals)
+    n = perf.nearest_exact(n)
+    data = make_benchmark(bench, n, seed=seed)
+    cluster = Cluster(
+        heterogeneous_cluster([float(v) for v in perf_vals], memory_items=memory)
+    )
+    cfg = DeWittConfig(
+        block_items=cfg_kw.pop("block_items", 128),
+        message_items=cfg_kw.pop("message_items", 512),
+        **cfg_kw,
+    )
+    res = sort_array_dewitt(cluster, perf, data, cfg)
+    return data, res, cluster
+
+
+class TestCorrectness:
+    def test_sorted_permutation(self):
+        data, res, _ = _run([1, 1, 4, 4], 16_000)
+        verify_sorted_permutation(data, res.to_array())
+
+    def test_homogeneous(self):
+        data, res, _ = _run([1, 1], 6_000)
+        verify_sorted_permutation(data, res.to_array())
+
+    def test_single_node(self):
+        data, res, _ = _run([1], 3_000)
+        verify_sorted_permutation(data, res.to_array())
+
+    @pytest.mark.parametrize("bench", [0, 2, 3, 4, 5, 7])
+    def test_workloads(self, bench):
+        data, res, _ = _run([1, 2], 5_000, bench=bench, seed=bench)
+        verify_sorted_permutation(data, res.to_array())
+
+    def test_node_ranges_ordered(self):
+        _, res, _ = _run([1, 2, 3], 9_000)
+        prev = None
+        for f in res.outputs:
+            arr = f.to_array()
+            if arr.size == 0:
+                continue
+            if prev is not None:
+                assert arr[0] >= prev
+            prev = arr[-1]
+
+
+class TestBehaviour:
+    def test_many_small_runs_formed(self):
+        """The signature of the algorithm: receivers accumulate one run
+        per arriving message."""
+        _, res, _ = _run([1, 1], 12_000, message_items=256)
+        assert all(r > 5 for r in res.runs_per_node)
+
+    def test_smaller_messages_more_runs(self):
+        _, small, _ = _run([1, 1], 12_000, message_items=128)
+        _, big, _ = _run([1, 1], 12_000, message_items=2048)
+        assert sum(small.runs_per_node) > 2 * sum(big.runs_per_node)
+
+    def test_balance_tracks_perf(self):
+        _, res, _ = _run([1, 1, 4, 4], 40_000, memory=2048)
+        assert res.s_max < 1.35  # random splitters: looser than PSRS
+
+    def test_memory_balanced(self):
+        _, res, cluster = _run([1, 3], 8_000)
+        for node in cluster.nodes:
+            assert node.mem.in_use == 0
+            assert node.mem.high_water <= 1024
+
+    def test_step_times_recorded(self):
+        _, res, _ = _run([1, 2], 4_000)
+        assert set(res.step_times) == {"1:splitters", "2:route", "3:merge-runs"}
+
+    def test_no_local_presort_io(self):
+        """DeWitt skips PSRS's step-1 pre-sort: total item I/O at friendly
+        message sizes comes in below external PSRS's."""
+        from repro.core.external_psrs import PSRSConfig, sort_array
+
+        perf = PerfVector([1, 1])
+        n = perf.nearest_exact(16_000)
+        data = make_benchmark(0, n, seed=4)
+        c1 = Cluster(homogeneous_cluster(2, memory_items=1024))
+        dw = sort_array_dewitt(
+            c1, perf, data, DeWittConfig(block_items=128, message_items=2048)
+        )
+        c2 = Cluster(homogeneous_cluster(2, memory_items=1024))
+        ps = sort_array(
+            c2, perf, data, PSRSConfig(block_items=128, message_items=2048)
+        )
+        assert dw.io.item_ios < ps.io.item_ios
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeWittConfig(block_items=0)
+        with pytest.raises(ValueError):
+            DeWittConfig(message_items=0)
+        with pytest.raises(ValueError):
+            DeWittConfig(oversample=0)
+        cluster = Cluster(homogeneous_cluster(2))
+        with pytest.raises(ValueError, match="match"):
+            sort_dewitt_distributed(cluster, PerfVector([1, 1, 1]), [])
+
+    def test_empty_input_rejected(self):
+        cluster = Cluster(homogeneous_cluster(2))
+        with pytest.raises(ValueError, match="empty"):
+            sort_array_dewitt(
+                cluster, PerfVector([1, 1]), np.empty(0, dtype=np.uint32)
+            )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    vals=st.lists(st.integers(1, 4), min_size=1, max_size=4),
+    seed=st.integers(0, 50),
+    bench=st.integers(0, 7),
+)
+def test_property_dewitt_sorts(vals, seed, bench):
+    data, res, cluster = _run(vals, 3_000, seed=seed, bench=bench)
+    verify_sorted_permutation(data, res.to_array())
+    for node in cluster.nodes:
+        assert node.mem.in_use == 0

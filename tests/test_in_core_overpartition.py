@@ -1,0 +1,170 @@
+"""Tests for in-core heterogeneous PSRS and the Li & Sevcik comparator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Cluster, heterogeneous_cluster, homogeneous_cluster
+from repro.core.in_core_psrs import sort_array_in_core, sort_in_core
+from repro.core.overpartition import (
+    assign_buckets,
+    sort_array_overpartitioned,
+)
+from repro.core.perf import PerfVector
+from repro.workloads.generators import make_benchmark
+from repro.workloads.records import verify_sorted_permutation
+
+
+def _cluster(vals, memory=None):
+    return Cluster(heterogeneous_cluster([float(v) for v in vals], memory_items=memory))
+
+
+class TestInCorePSRS:
+    def test_sorts_heterogeneous(self):
+        perf = PerfVector([1, 1, 4, 4])
+        data = make_benchmark(0, perf.nearest_exact(30_000), seed=1)
+        res = sort_array_in_core(_cluster(perf.values), perf, data)
+        verify_sorted_permutation(data, res.to_array())
+
+    def test_smax_near_one(self):
+        perf = PerfVector([1, 1, 4, 4])
+        data = make_benchmark(0, perf.nearest_exact(50_000), seed=2)
+        res = sort_array_in_core(_cluster(perf.values), perf, data)
+        assert res.s_max < 1.12
+
+    def test_single_node(self):
+        perf = PerfVector([1])
+        data = make_benchmark(0, 1000, seed=0)
+        res = sort_array_in_core(_cluster([1]), perf, data)
+        np.testing.assert_array_equal(res.to_array(), np.sort(data))
+
+    @pytest.mark.parametrize("bench", [0, 2, 3, 4, 5, 7])
+    def test_benchmarks(self, bench):
+        perf = PerfVector([1, 2, 3])
+        data = make_benchmark(bench, perf.nearest_exact(6_000), seed=bench)
+        res = sort_array_in_core(_cluster(perf.values), perf, data)
+        verify_sorted_permutation(data, res.to_array())
+
+    def test_size_mismatch_rejected(self):
+        cluster = Cluster(homogeneous_cluster(2))
+        with pytest.raises(ValueError):
+            sort_in_core(cluster, PerfVector([1, 1, 1]), [np.arange(3)] * 2)
+
+    def test_agrees_with_external(self):
+        """The external algorithm must produce the identical global array."""
+        from repro.core.external_psrs import PSRSConfig, sort_array
+
+        perf = PerfVector([1, 3])
+        data = make_benchmark(0, perf.nearest_exact(8_000), seed=9)
+        in_core = sort_array_in_core(_cluster(perf.values), perf, data)
+        external = sort_array(
+            _cluster(perf.values, memory=2048),
+            perf,
+            data,
+            PSRSConfig(block_items=128, message_items=512),
+        )
+        np.testing.assert_array_equal(in_core.to_array(), external.to_array())
+
+    def test_step_times_recorded(self):
+        perf = PerfVector([1, 2])
+        data = make_benchmark(0, perf.nearest_exact(5_000))
+        res = sort_array_in_core(_cluster(perf.values), perf, data)
+        assert len(res.step_times) == 5
+        assert res.elapsed > 0
+
+
+class TestAssignBuckets:
+    def test_respects_perf_weights(self):
+        perf = PerfVector([1, 3])
+        sizes = [10] * 8
+        owner = assign_buckets(sizes, perf)
+        got = [sum(sizes[b] for b in range(8) if owner[b] == i) for i in range(2)]
+        assert got[1] > got[0]
+        assert abs(got[1] - 60) <= 10
+
+    def test_homogeneous_even(self):
+        perf = PerfVector([1, 1])
+        owner = assign_buckets([5, 5, 5, 5], perf)
+        loads = [owner.count(0), owner.count(1)]
+        assert loads == [2, 2]
+
+    def test_skewed_bucket_goes_alone(self):
+        perf = PerfVector([1, 1])
+        owner = assign_buckets([100, 1, 1, 1], perf)
+        big_owner = owner[0]
+        assert all(o != big_owner for o in owner[1:])
+
+
+class TestOverpartitioning:
+    def test_sorts(self):
+        perf = PerfVector([1, 1, 4, 4])
+        data = make_benchmark(0, perf.nearest_exact(20_000), seed=4)
+        res = sort_array_overpartitioned(_cluster(perf.values), perf, data, s=4)
+        verify_sorted_permutation(data, res.to_array())
+
+    def test_more_buckets_better_balance(self):
+        perf = PerfVector([1, 1, 4, 4])
+        data = make_benchmark(0, perf.nearest_exact(40_000), seed=6)
+        res_small = sort_array_overpartitioned(_cluster(perf.values), perf, data, s=1)
+        res_large = sort_array_overpartitioned(_cluster(perf.values), perf, data, s=16)
+        assert res_large.s_max <= res_small.s_max
+
+    def test_expansion_worse_than_psrs_at_low_s(self):
+        """§3.3: oversampling with low s trails regular sampling."""
+        perf = PerfVector([1, 1, 4, 4])
+        data = make_benchmark(0, perf.nearest_exact(40_000), seed=7)
+        over = sort_array_overpartitioned(_cluster(perf.values), perf, data, s=2)
+        psrs = sort_array_in_core(_cluster(perf.values), perf, data)
+        assert psrs.s_max < over.s_max + 0.25  # PSRS competitive or better
+
+    def test_bucket_count(self):
+        perf = PerfVector([1, 2])
+        data = make_benchmark(0, perf.nearest_exact(3_000), seed=0)
+        res = sort_array_overpartitioned(_cluster(perf.values), perf, data, s=5)
+        assert len(res.bucket_sizes) == 10
+        assert sum(res.bucket_sizes) == res.n_items
+
+    def test_invalid_s(self):
+        perf = PerfVector([1, 1])
+        data = make_benchmark(0, 100)
+        with pytest.raises(ValueError):
+            sort_array_overpartitioned(_cluster([1, 1]), perf, data, s=0)
+
+    def test_empty_input_rejected(self):
+        perf = PerfVector([1, 1])
+        with pytest.raises(ValueError, match="empty"):
+            sort_array_overpartitioned(
+                _cluster([1, 1]), perf, np.empty(0, dtype=np.uint32)
+            )
+
+    def test_received_sizes_sum_to_n(self):
+        perf = PerfVector([2, 3])
+        data = make_benchmark(0, perf.nearest_exact(5_000), seed=1)
+        res = sort_array_overpartitioned(_cluster(perf.values), perf, data)
+        assert sum(res.received_sizes) == res.n_items
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    vals=st.lists(st.integers(1, 4), min_size=1, max_size=4),
+    bench=st.integers(0, 7),
+)
+def test_property_in_core_psrs_sorts(vals, bench):
+    perf = PerfVector(vals)
+    data = make_benchmark(bench, perf.nearest_exact(2_000), seed=0)
+    res = sort_array_in_core(_cluster(vals), perf, data)
+    verify_sorted_permutation(data, res.to_array())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    vals=st.lists(st.integers(1, 4), min_size=2, max_size=4),
+    s=st.integers(1, 8),
+    seed=st.integers(0, 50),
+)
+def test_property_overpartition_sorts(vals, s, seed):
+    perf = PerfVector(vals)
+    data = make_benchmark(0, perf.nearest_exact(2_000), seed=seed)
+    res = sort_array_overpartitioned(_cluster(vals), perf, data, s=s, seed=seed)
+    verify_sorted_permutation(data, res.to_array())

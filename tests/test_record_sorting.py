@@ -1,0 +1,85 @@
+"""Record (key + payload) sorting via packed 64-bit keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Cluster, heterogeneous_cluster
+from repro.core.external_psrs import PSRSConfig, sort_array
+from repro.core.perf import PerfVector
+from repro.workloads.records import is_sorted, pack_records, unpack_records
+
+
+class TestPacking:
+    def test_roundtrip(self, rng):
+        keys = rng.integers(0, 2**32, 100, dtype=np.uint32)
+        ids = np.arange(100, dtype=np.uint32)
+        k2, i2 = unpack_records(pack_records(keys, ids))
+        np.testing.assert_array_equal(k2, keys)
+        np.testing.assert_array_equal(i2, ids)
+
+    def test_order_is_key_then_id(self):
+        packed = pack_records(
+            np.array([5, 5, 3], dtype=np.uint32), np.array([2, 1, 9], dtype=np.uint32)
+        )
+        order = np.argsort(packed)
+        np.testing.assert_array_equal(order, [2, 1, 0])  # key 3 first, then 5/id1, 5/id2
+
+    def test_extreme_values(self):
+        keys = np.array([0, 2**32 - 1], dtype=np.uint32)
+        ids = np.array([2**32 - 1, 0], dtype=np.uint32)
+        k2, i2 = unpack_records(pack_records(keys, ids))
+        np.testing.assert_array_equal(k2, keys)
+        np.testing.assert_array_equal(i2, ids)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_records(np.zeros(2, np.uint32), np.zeros(3, np.uint32))
+
+    def test_dtype_checked(self):
+        with pytest.raises(TypeError):
+            pack_records(np.zeros(2, np.int64), np.zeros(2, np.uint32))
+        with pytest.raises(TypeError):
+            unpack_records(np.zeros(2, np.uint32))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1)),
+            max_size=100,
+        )
+    )
+    def test_property_pack_order_matches_lexicographic(self, pairs):
+        keys = np.asarray([k for k, _ in pairs], dtype=np.uint32)
+        ids = np.asarray([i for _, i in pairs], dtype=np.uint32)
+        sorted_keys, sorted_ids = unpack_records(np.sort(pack_records(keys, ids)))
+        expected = sorted(zip(keys.tolist(), ids.tolist()))
+        assert list(zip(sorted_keys.tolist(), sorted_ids.tolist())) == expected
+
+
+class TestRecordSortEndToEnd:
+    def test_records_survive_the_full_pipeline(self):
+        """Sort key+payload records through Algorithm 1: every payload
+        travels with its key, stably."""
+        perf = PerfVector([1, 3])
+        n = perf.nearest_exact(8_000)
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 1000, n, dtype=np.uint32)  # many duplicates
+        payload = np.arange(n, dtype=np.uint32)  # locator into a payload table
+        packed = pack_records(keys, payload)
+
+        cluster = Cluster(heterogeneous_cluster([1.0, 3.0], memory_items=2048))
+        res = sort_array(
+            cluster, perf, packed, PSRSConfig(block_items=256, message_items=1024)
+        )
+        out_keys, out_ids = unpack_records(res.to_array())
+
+        assert is_sorted(out_keys)
+        # Every record present exactly once.
+        np.testing.assert_array_equal(np.sort(out_ids), payload)
+        # Payloads still attached to their original keys.
+        np.testing.assert_array_equal(keys[out_ids], out_keys)
+        # Stability: among equal keys, payload ids ascend (pack order).
+        for a, b in zip(range(0, n - 1), range(1, n)):
+            if out_keys[a] == out_keys[b]:
+                assert out_ids[a] < out_ids[b]
