@@ -62,7 +62,28 @@ from repro.core import (
     sort_overpartitioned,
 )
 from repro.extsort import balanced_merge_sort, distribution_sort, polyphase_sort
-from repro.metrics import PartitionStats, Table, TrialStats, partition_stats, repeat_trials
+from repro.faults import (
+    DiskFault,
+    DiskFaultError,
+    FaultCounters,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    MessageFault,
+    NetworkFaultError,
+    NodeKill,
+    NodeKilledError,
+    RetryPolicy,
+)
+from repro.metrics import (
+    PartitionStats,
+    Table,
+    TrialStats,
+    fault_table,
+    partition_stats,
+    repeat_trials,
+)
 from repro.pdm import (
     BlockFile,
     BlockReader,
@@ -104,8 +125,21 @@ __all__ = [
     "ClusterSpec",
     "CpuParams",
     "DiskBackedBlockFile",
+    "DiskFault",
+    "DiskFaultError",
     "DiskParams",
     "FAST_ETHERNET",
+    "FaultCounters",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "MessageFault",
+    "NetworkFaultError",
+    "NodeKill",
+    "NodeKilledError",
+    "RetryPolicy",
+    "fault_table",
     "FileStore",
     "IOStats",
     "InCorePSRSResult",

@@ -59,6 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="spill every file to this host directory (true out-of-core)",
     )
+    p_sort.add_argument(
+        "--fault-plan",
+        default=None,
+        help="fault plan: path to a JSON file, or inline JSON "
+        '(e.g. \'{"disk": [{"node": 1, "after_ios": 40}]}\')',
+    )
+    p_sort.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="max attempts per step for transient faults (enables retry)",
+    )
+    p_sort.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        help="base backoff seconds charged to the sim clock per retry",
+    )
 
     p_cal = sub.add_parser("calibrate", help="Table-2 perf-filling protocol")
     p_cal.add_argument("--n", type=int, default=2**17, help="total input size")
@@ -85,10 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_fault_plan(text: str):
+    """``--fault-plan`` accepts inline JSON or a path to a JSON file."""
+    from repro.faults.plan import FaultPlan
+
+    if text.lstrip().startswith("{"):
+        return FaultPlan.from_json(text)
+    return FaultPlan.load(text)
+
+
 def cmd_sort(args) -> int:
     from repro.cluster.machine import Cluster, heterogeneous_cluster
     from repro.cluster.network import FAST_ETHERNET, MYRINET
     from repro.core.external_psrs import PSRSConfig, sort_array
+    from repro.faults.plan import RetryPolicy
+    from repro.metrics.report import fault_table
     from repro.pdm.filestore import FileStore
     from repro.workloads.generators import make_benchmark
     from repro.workloads.records import verify_sorted_permutation
@@ -107,6 +136,12 @@ def cmd_sort(args) -> int:
     if store is not None:
         for node in cluster.nodes:
             node.disk.file_factory = store.create
+    plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    retry = (
+        RetryPolicy(max_attempts=args.retries, backoff=args.retry_backoff)
+        if args.retries is not None
+        else None
+    )
     res = sort_array(
         cluster,
         perf,
@@ -117,6 +152,8 @@ def cmd_sort(args) -> int:
             pivot_method=args.pivot_method,
             seed=args.seed,
         ),
+        faults=plan,
+        retry=retry,
     )
     verify_sorted_permutation(data, res.to_array())
     print(f"sorted {res.n_items} items (verified) on perf={perf.values}")
@@ -127,6 +164,10 @@ def cmd_sort(args) -> int:
         f"I/O blocks r/w: {res.io.blocks_read}/{res.io.blocks_written}   "
         f"network: {res.network_messages} msgs / {res.network_bytes} bytes"
     )
+    if plan is not None or retry is not None:
+        if res.faults.degraded:
+            print(f"completed DEGRADED on survivors {res.active_ranks}")
+        print(fault_table(res.faults).render())
     return 0
 
 

@@ -82,6 +82,9 @@ class Cluster:
         self.network = Network(spec.link, spec.p, spec.packet_bytes)
         self.comm = SimComm(self.nodes, self.network)
         self.trace = Trace()
+        #: Callbacks fired (with the step name) at the start of every
+        #: :meth:`step`; the fault injector's node kills are raised here.
+        self.step_observers: list = []
 
     @property
     def p(self) -> int:
@@ -102,6 +105,8 @@ class Cluster:
     def step(self, name: str) -> Iterator[None]:
         """Barrier-delimited algorithm step; records per-node trace events."""
         t0 = self.barrier()
+        for obs in list(self.step_observers):
+            obs(name)
         starts = [n.clock.time for n in self.nodes]
         yield
         for n in self.nodes:
@@ -111,6 +116,10 @@ class Cluster:
     def io_stats(self) -> IOStats:
         """Aggregate disk counters across all nodes."""
         return IOStats.merge([n.disk.stats for n in self.nodes])
+
+    def view(self, ranks: Sequence[int]) -> "ClusterView":
+        """A live view over a subset of nodes (degraded-mode survivors)."""
+        return ClusterView(self, ranks)
 
     def reset(self) -> None:
         """Zero clocks, counters, network channels and the trace.
@@ -126,6 +135,63 @@ class Cluster:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         names = ", ".join(f"{n.name}(x{n.speed:g})" for n in self.nodes)
         return f"Cluster[{names}] over {self.spec.link.name}"
+
+
+class ClusterView:
+    """A subset of a cluster's nodes presented with the Cluster interface.
+
+    Degraded mode runs steps 2-5 over the surviving nodes only: the view
+    shares the parent's network, trace and step observers, but its
+    ``nodes`` / ``comm`` / ``barrier`` cover the chosen ranks, so every
+    algorithm step written against a :class:`Cluster` runs unchanged over
+    the survivors.  A full-range view (``ranks == range(p)``) behaves
+    identically to the cluster itself.
+    """
+
+    def __init__(self, cluster: Cluster, ranks: Sequence[int]) -> None:
+        ranks = list(ranks)
+        if not ranks:
+            raise ValueError("a cluster view needs at least one node")
+        if any(not (0 <= r < cluster.p) for r in ranks):
+            raise ValueError(f"ranks {ranks} out of range for a {cluster.p}-node cluster")
+        self.cluster = cluster
+        self.ranks = ranks
+        self.nodes = [cluster.nodes[r] for r in ranks]
+        self.network = cluster.network
+        self.comm = SimComm(self.nodes, cluster.network)
+        self.spec = cluster.spec
+
+    @property
+    def p(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def trace(self) -> Trace:
+        return self.cluster.trace
+
+    def elapsed(self) -> float:
+        return max(n.clock.time for n in self.nodes)
+
+    def barrier(self) -> float:
+        return barrier([n.clock for n in self.nodes])
+
+    @contextmanager
+    def step(self, name: str) -> Iterator[None]:
+        """Barrier-delimited step over the view's nodes only."""
+        self.barrier()
+        for obs in list(self.cluster.step_observers):
+            obs(name)
+        starts = [n.clock.time for n in self.nodes]
+        yield
+        for start, n in zip(starts, self.nodes):
+            self.cluster.trace.record(name, n.rank, start, n.clock.time)
+        self.barrier()
+
+    def io_stats(self) -> IOStats:
+        return IOStats.merge([n.disk.stats for n in self.nodes])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusterView(ranks={self.ranks})"
 
 
 def paper_cluster(

@@ -33,11 +33,15 @@ class SimComm:
             raise ValueError("communicator needs at least one node")
         self.nodes = list(nodes)
         self.network = network
-        for i, nd in enumerate(self.nodes):
-            if nd.rank != i:
-                raise ValueError(
-                    f"node at position {i} has rank {nd.rank}; ranks must be 0..p-1"
-                )
+        # Ranks inside the communicator are *positions* in ``nodes``; the
+        # nodes keep their global ranks for NIC-channel bookkeeping, which
+        # is what lets a survivor subset (degraded mode) form a smaller
+        # communicator over the same network.
+        seen: set[int] = set()
+        for nd in self.nodes:
+            if nd.rank in seen:
+                raise ValueError(f"node rank {nd.rank} appears twice")
+            seen.add(nd.rank)
 
     @property
     def size(self) -> int:

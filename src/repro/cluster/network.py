@@ -110,6 +110,12 @@ class Network:
         self._in_free = [0.0] * n_nodes
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Optional fault-injection hook ``(src, dst, nbytes, duration) ->
+        #: extra_seconds``; may raise
+        #: :class:`~repro.faults.plan.NetworkFaultError` (hard failure,
+        #: the message is not delivered or counted) or return extra
+        #: service time (drops charged as retransmissions, delays).
+        self.fault_hook = None
 
     def transfer(self, src: SimNode, dst: SimNode, nbytes: int) -> float:
         """Charge one ``src -> dst`` message; returns its completion time.
@@ -120,6 +126,10 @@ class Network:
         if src.rank == dst.rank:
             return src.clock.time  # local "transfer" is free (same host)
         dur = self.link.message_time(nbytes, self.packet_bytes)
+        if self.fault_hook is not None:
+            extra = self.fault_hook(src, dst, nbytes, dur)
+            if extra:
+                dur += extra
         start = max(src.clock.time, self._out_free[src.rank], self._in_free[dst.rank])
         end = start + dur
         self._out_free[src.rank] = end

@@ -96,6 +96,18 @@ class SimNode:
             parallelism=n_disks,
         )
         self.ops_charged = 0.0
+        #: False once the node is declared dead by fault injection.  Its
+        #: clock stops being part of barriers; its disk remains readable
+        #: (a node crash is not media loss — degraded mode salvages the
+        #: checkpointed runs from it).
+        self.alive = True
+        #: Step label at which the node died (diagnostics).
+        self.failed_at: Optional[str] = None
+
+    def mark_dead(self, step: str = "") -> None:
+        """Declare this node dead (it stops participating in the sort)."""
+        self.alive = False
+        self.failed_at = step or None
 
     def compute(self, ops: float) -> None:
         """Charge ``ops`` abstract CPU operations to this node's clock."""

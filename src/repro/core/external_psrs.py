@@ -16,25 +16,53 @@ The five steps of the paper, executed on a simulated
 The PSRS load-balance theorem carries over (paper §4): no node receives
 more than twice its performance-proportional share (+ the duplicate
 count d) — checked by the test suite via the returned metrics.
+
+Fault tolerance (docs/FAULTS.md)
+--------------------------------
+Passing ``faults=`` (a :class:`~repro.faults.plan.FaultPlan` or an
+installed :class:`~repro.faults.injector.FaultInjector`) and/or
+``retry=`` (a :class:`~repro.faults.plan.RetryPolicy`) turns on
+step-level recovery:
+
+* every step's inputs are *checkpointed* at the preceding barrier (the
+  sorted-run files, the pivots, the partition refs stay on disk until the
+  sort commits), so a step that raises a transient
+  :class:`~repro.faults.plan.FaultError` is simply re-run after the
+  policy's backoff — charged to the simulated clocks;
+* a node killed during steps 2-5 triggers *degraded mode*: its
+  checkpointed sorted run is salvaged onto the fastest survivor, the
+  perf vector is rescaled over the survivors, and steps 2-5 re-run on
+  the survivor subcluster — the 2x bound then holds against the
+  rescaled shares (``PSRSResult.optimal_sizes``);
+* a node killed during step 1 is unrecoverable (no checkpoint exists
+  yet) and raises :class:`~repro.faults.plan.NodeKilledError`.
+
+Without these arguments the behaviour (and the charged cost model) is
+bit-identical to the fault-free implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal, Optional, Sequence
+from typing import Literal, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.cluster.machine import Cluster
 from repro.core.partition import materialize_partitions, partition_offsets, partition_refs
 from repro.core.perf import PerfVector
-from repro.core.redistribute import RedistributionReport, redistribute
+from repro.core.redistribute import RedistributionReport, message_items_for, redistribute
 from repro.core.sampling import random_sample, regular_sample, sample_count, select_pivots
-from repro.extsort.multiway import RunRef, max_merge_order, merge_runs
+from repro.extsort.multiway import RunCursor, RunRef, max_merge_order, merge_runs
 from repro.extsort.polyphase import polyphase_sort
 from repro.extsort.runs import RunPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultCounters, FaultPlan, NodeKilledError, RetryPolicy
+from repro.faults.recovery import StepRunner
 from repro.pdm.blockfile import BlockFile, BlockWriter
 from repro.pdm.stats import IOStats
+
+FaultsArg = Union[FaultPlan, FaultInjector, None]
 
 
 @dataclass(frozen=True)
@@ -66,7 +94,8 @@ class PSRSConfig:
         Sample-count multiplier c (L_i = c*(p-1)*perf[i]); c=1 is the
         paper's literal count, the default c=4 refines the pivot grid.
     root:
-        The designated pivot-selection node.
+        The designated pivot-selection node (falls back to the fastest
+        survivor if it dies in degraded mode).
     seed:
         RNG seed (used only by ``pivot_method="random"``).
     """
@@ -95,7 +124,13 @@ class PSRSConfig:
 
 @dataclass
 class PSRSResult:
-    """Everything the paper's Table 3 reports, plus diagnostics."""
+    """Everything the paper's Table 3 reports, plus diagnostics.
+
+    In degraded mode the per-node lists (``outputs``, ``received_sizes``,
+    ``optimal_sizes``) cover the *surviving* nodes only — ``active_ranks``
+    maps positions back to original cluster ranks and ``perf`` is the
+    rescaled survivor perf vector.
+    """
 
     outputs: list[BlockFile]
     perf: PerfVector
@@ -110,6 +145,8 @@ class PSRSResult:
     network_messages: int
     redistribution: RedistributionReport = field(default_factory=RedistributionReport)
     step_io: dict[str, IOStats] = field(default_factory=dict)
+    faults: FaultCounters = field(default_factory=FaultCounters)
+    active_ranks: list[int] = field(default_factory=list)
 
     @property
     def mean_partition(self) -> float:
@@ -145,12 +182,43 @@ def sort_distributed(
     perf: PerfVector,
     inputs: Sequence[BlockFile],
     config: PSRSConfig = PSRSConfig(),
+    *,
+    faults: FaultsArg = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> PSRSResult:
     """Run Algorithm 1 on per-node input files already on the node disks.
 
     ``inputs[i]`` must live on ``cluster.nodes[i]``'s disk and its size
     should be node i's portion ``l_i`` (use :meth:`PerfVector.portions`).
+
+    ``faults`` injects a :class:`~repro.faults.plan.FaultPlan` for the
+    duration of the sort (an already-installed
+    :class:`~repro.faults.injector.FaultInjector` is used as-is);
+    ``retry`` enables step-level retry of transient faults.  Either
+    argument switches the sort into checkpointed, recoverable execution.
     """
+    injector: Optional[FaultInjector] = None
+    installed_here = False
+    if faults is not None:
+        injector = faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        if not injector.installed:
+            injector.install(cluster)
+            installed_here = True
+    try:
+        return _sort_impl(cluster, perf, inputs, config, injector, retry)
+    finally:
+        if installed_here:
+            injector.uninstall()
+
+
+def _sort_impl(
+    cluster: Cluster,
+    perf: PerfVector,
+    inputs: Sequence[BlockFile],
+    config: PSRSConfig,
+    injector: Optional[FaultInjector],
+    retry: Optional[RetryPolicy],
+) -> PSRSResult:
     p = cluster.p
     if perf.p != p:
         raise ValueError(f"perf has {perf.p} entries for a {p}-node cluster")
@@ -164,13 +232,25 @@ def sort_distributed(
 
     def _snap(step: str) -> None:
         now = cluster.io_stats()
-        step_io[step] = now - _io_mark[0]
+        delta = now - _io_mark[0]
+        step_io[step] = step_io[step] + delta if step in step_io else delta
         _io_mark[0] = now
 
+    counters = injector.counters if injector is not None else FaultCounters()
+    recovery = injector is not None or retry is not None
+    runner = StepRunner(retry, counters)
+
+    active = list(range(p))
+    view = cluster.view(active)
+    aperf = perf
+
     # ---- Step 1: local external sort -------------------------------------
-    sorted_files: list[BlockFile] = []
-    with cluster.step("1:local-sort"):
-        for node, f in zip(cluster.nodes, inputs):
+    # With recovery on, the sorted runs double as the step-1 checkpoint:
+    # they stay on disk until the sort commits, so any later step (or a
+    # survivor taking over a dead node's portion) can restart from them.
+    def _step1() -> list[BlockFile]:
+        files: list[BlockFile] = []
+        for node, f in zip(view.nodes, inputs):
             res = polyphase_sort(
                 f,
                 node.disk,
@@ -180,98 +260,106 @@ def sort_distributed(
                 compute=node.compute,
                 engine=config.engine,
             )
-            sorted_files.append(res.output)
+            files.append(res.output)
+        return files
+
+    sorted_by_rank = dict(zip(active, runner.run(view, "1:local-sort", _step1)))
     _snap("1:local-sort")
 
-    # ---- Step 2: pivot selection ------------------------------------------
-    with cluster.step("2:pivots"):
-        if p == 1:
-            pivots = np.empty(0, dtype=sorted_files[0].dtype)
-        elif config.pivot_method == "quantile":
-            from repro.core.quantiles import exact_quantile_pivots
-
-            pivots, _report = exact_quantile_pivots(
-                cluster, perf, sorted_files, root=config.root
+    # ---- Steps 2-5, re-entered from step 2 in degraded mode ---------------
+    while True:
+        sorted_files = [sorted_by_rank[r] for r in active]
+        try:
+            pivots = runner.run(
+                view,
+                "2:pivots",
+                lambda: _pivot_step(view, aperf, sorted_files, config, rng),
             )
-        else:
-            samples = []
-            for node, sf in zip(cluster.nodes, sorted_files):
-                if config.pivot_method == "regular":
-                    s = regular_sample(sf, perf, node.rank, node.mem, config.oversample)
-                else:
-                    s = random_sample(
-                        sf,
-                        max(1, sample_count(perf[node.rank], p, config.oversample)),
-                        node.mem,
-                        rng,
-                    )
-                samples.append(s)
-            gathered = cluster.comm.gather(samples, root=config.root)
-            candidates = np.concatenate(gathered)
-            pivots = select_pivots(
-                candidates,
-                perf,
-                compute=cluster.nodes[config.root].compute,
-                oversample=config.oversample,
+            _snap("2:pivots")
+
+            partitions = runner.run(
+                view,
+                "3:partition",
+                lambda: _partition_step(view, sorted_files, pivots, config),
             )
-            pivots = cluster.comm.bcast(pivots, root=config.root)[0]
-    _snap("2:pivots")
+            _snap("3:partition")
 
-    # ---- Step 3: binary partitioning --------------------------------------
-    partitions: list[list[RunRef]] = []
-    with cluster.step("3:partition"):
-        for node, sf in zip(cluster.nodes, sorted_files):
-            cuts = partition_offsets(sf, pivots, node.mem)
-            if config.materialize_partitions:
-                files = materialize_partitions(sf, cuts, node.disk, node.mem)
-                partitions.append([RunRef.whole(f) for f in files])
-            else:
-                partitions.append(partition_refs(sf, cuts))
-    _snap("3:partition")
+            # Linear-space discipline (PDM: "algorithms should use O(n)
+            # blocks of storage"): once a phase's files are consumed,
+            # reclaim them.  With recovery on, reclamation is deferred to
+            # the commit point — the consumed files are the checkpoint.
+            if not recovery and config.materialize_partitions:
+                for sf in sorted_files:
+                    sf.clear()  # partitions hold the data now
 
-    # Linear-space discipline (PDM: "algorithms should use O(n) blocks of
-    # storage"): once a phase's files are consumed, reclaim them.
-    if config.materialize_partitions:
-        for sf in sorted_files:
-            sf.clear()  # partitions hold the data now
+            received, redist_report = runner.run(
+                view,
+                "4:redistribute",
+                lambda: redistribute(view, partitions, config.message_items),
+            )
+            if not recovery:
+                for row in partitions:
+                    for ref in row:
+                        if ref.start == 0 and ref.stop == ref.file.n_items:
+                            ref.file.clear()  # receivers hold the data now
+                if not config.materialize_partitions:
+                    for sf in sorted_files:
+                        sf.clear()
+            _snap("4:redistribute")
 
-    # ---- Step 4: redistribution --------------------------------------------
-    with cluster.step("4:redistribute"):
-        received, redist_report = redistribute(
-            cluster, partitions, config.message_items
-        )
-    for row in partitions:
-        for ref in row:
-            if ref.start == 0 and ref.stop == ref.file.n_items:
-                ref.file.clear()  # receivers hold the data now
-    if not config.materialize_partitions:
+            received_sizes = [
+                sum(f.n_items for f in received[j]) for j in range(view.p)
+            ]
+
+            outputs = runner.run(
+                view,
+                "5:final-merge",
+                lambda: _merge_step(view, received, config, clear_inputs=not recovery),
+            )
+            _snap("5:final-merge")
+            break
+        except NodeKilledError as exc:
+            if not recovery or exc.step < 2:
+                raise  # no checkpoint before the step-1 barrier
+            counters.degraded = True
+            active = [r for r in active if r != exc.rank]
+            if not active:
+                raise
+            # The fastest survivor absorbs the dead node's portion.
+            buddy = max(active, key=lambda r: (perf[r], -r))
+            view = cluster.view(active)
+            aperf = perf.subset(active)
+            dead_file = sorted_by_rank.pop(exc.rank)
+            sorted_by_rank[buddy] = _salvage_step(
+                cluster,
+                view,
+                runner,
+                exc.rank,
+                buddy,
+                dead_file,
+                sorted_by_rank[buddy],
+                config,
+            )
+            _snap("recover:salvage")
+
+    if recovery:
+        # Commit: the sort succeeded, reclaim every checkpointed file.
         for sf in sorted_files:
             sf.clear()
-    _snap("4:redistribute")
-
-    received_sizes = [
-        sum(f.n_items for f in received[j]) for j in range(p)
-    ]
-
-    # ---- Step 5: final external merge ---------------------------------------
-    outputs: list[BlockFile] = []
-    with cluster.step("5:final-merge"):
-        for j, node in enumerate(cluster.nodes):
-            refs = [RunRef.whole(f) for f in received[j] if f.n_items > 0]
-            out = merge_many(
-                refs, node, config.engine, name=f"out{j}"
-            )
+        for row in partitions:
+            for ref in row:
+                if ref.start == 0 and ref.stop == ref.file.n_items:
+                    ref.file.clear()
+        for j in range(view.p):
             for f in received[j]:
-                if f is not out:
+                if f is not outputs[j]:
                     f.clear()
-            outputs.append(out)
-    _snap("5:final-merge")
 
-    elapsed = cluster.barrier()
-    optimal = [perf.optimal_share(n_items, i) for i in range(p)]
+    elapsed = view.barrier()
+    optimal = [aperf.optimal_share(n_items, i) for i in range(view.p)]
     return PSRSResult(
         outputs=outputs,
-        perf=perf,
+        perf=aperf,
         n_items=n_items,
         elapsed=elapsed,
         step_times=cluster.trace.summary(),
@@ -283,7 +371,134 @@ def sort_distributed(
         network_messages=cluster.network.messages_sent,
         redistribution=redist_report,
         step_io=step_io,
+        faults=counters,
+        active_ranks=list(active),
     )
+
+
+def _pivot_step(view, perf: PerfVector, sorted_files, config: PSRSConfig, rng):
+    """Step 2 on the (possibly degraded) node set; positional indexing."""
+    p = view.p
+    if p == 1:
+        return np.empty(0, dtype=sorted_files[0].dtype)
+    root = view.ranks.index(config.root) if config.root in view.ranks else 0
+    if config.pivot_method == "quantile":
+        from repro.core.quantiles import exact_quantile_pivots
+
+        pivots, _report = exact_quantile_pivots(view, perf, sorted_files, root=root)
+        return pivots
+    samples = []
+    for pos, (node, sf) in enumerate(zip(view.nodes, sorted_files)):
+        if config.pivot_method == "regular":
+            s = regular_sample(sf, perf, pos, node.mem, config.oversample)
+        else:
+            s = random_sample(
+                sf,
+                max(1, sample_count(perf[pos], p, config.oversample)),
+                node.mem,
+                rng,
+            )
+        samples.append(s)
+    gathered = view.comm.gather(samples, root=root)
+    candidates = np.concatenate(gathered)
+    pivots = select_pivots(
+        candidates,
+        perf,
+        compute=view.nodes[root].compute,
+        oversample=config.oversample,
+    )
+    return view.comm.bcast(pivots, root=root)[0]
+
+
+def _partition_step(view, sorted_files, pivots, config: PSRSConfig):
+    """Step 3: per-node binary partitioning of the sorted portions."""
+    partitions: list[list[RunRef]] = []
+    for node, sf in zip(view.nodes, sorted_files):
+        cuts = partition_offsets(sf, pivots, node.mem)
+        if config.materialize_partitions:
+            files = materialize_partitions(sf, cuts, node.disk, node.mem)
+            partitions.append([RunRef.whole(f) for f in files])
+        else:
+            partitions.append(partition_refs(sf, cuts))
+    return partitions
+
+
+def _merge_step(view, received, config: PSRSConfig, clear_inputs: bool):
+    """Step 5: every node merges its received runs."""
+    outputs: list[BlockFile] = []
+    for j, node in enumerate(view.nodes):
+        refs = [RunRef.whole(f) for f in received[j] if f.n_items > 0]
+        out = merge_many(refs, node, config.engine, name=f"out{j}")
+        if clear_inputs:
+            for f in received[j]:
+                if f is not out:
+                    f.clear()
+        outputs.append(out)
+    return outputs
+
+
+def _salvage_step(
+    cluster: Cluster,
+    view,
+    runner: StepRunner,
+    dead_rank: int,
+    buddy_rank: int,
+    dead_file: BlockFile,
+    buddy_file: BlockFile,
+    config: PSRSConfig,
+) -> BlockFile:
+    """Recover a dead node's checkpointed sorted run onto a survivor.
+
+    The node process is dead but its disk is not (a crash is not media
+    loss): the buddy streams the dead node's step-1 run over the network
+    in block-multiple messages — charged to the dead disk, the link and
+    the buddy's disk — then k-way-merges it with its own run so the
+    survivor set again holds one sorted portion per active node.
+    """
+    dead = cluster.nodes[dead_rank]
+    buddy = cluster.nodes[buddy_rank]
+
+    def _salvage() -> BlockFile:
+        out = buddy.disk.new_file(
+            dead_file.B, dead_file.dtype, name=buddy.disk.next_file_name("salvage")
+        )
+        size = message_items_for(
+            config.message_items, dead_file.B, buddy.mem.capacity
+        )
+        cur = RunCursor(RunRef.whole(dead_file), buddy.mem)
+        try:
+            with BlockWriter(out, buddy.mem) as w:
+                while not cur.exhausted:
+                    parts, got = [], 0
+                    while got < size and not cur.exhausted:
+                        part = cur.take_upto(size - got)
+                        got += part.size
+                        parts.append(part)
+                    if not got:
+                        continue
+                    chunk = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                    cluster.network.transfer(dead, buddy, chunk.nbytes)
+                    with buddy.mem.reserve(chunk.size):
+                        w.write(chunk)
+        finally:
+            cur.drop()
+        return out
+
+    salvaged = runner.run(view, "recover:salvage", _salvage)
+
+    def _remerge() -> BlockFile:
+        refs = [RunRef.whole(f) for f in (buddy_file, salvaged) if f.n_items > 0]
+        if not refs:
+            return buddy_file
+        if len(refs) == 1:
+            return refs[0].file
+        return merge_many(refs, buddy, config.engine, name="resort")
+
+    merged = runner.run(view, "recover:remerge", _remerge)
+    for f in (dead_file, buddy_file, salvaged):
+        if f is not merged:
+            f.clear()
+    return merged
 
 
 def merge_many(refs: list[RunRef], node, engine: str, name: str = "out") -> BlockFile:
@@ -346,10 +561,13 @@ def sort_array(
     perf: PerfVector,
     data: np.ndarray,
     config: PSRSConfig = PSRSConfig(),
+    *,
+    faults: FaultsArg = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> PSRSResult:
     """Convenience wrapper: distribute ``data`` (untimed), then sort."""
     inputs = distribute_array(cluster, perf, data, config.block_items)
-    return sort_distributed(cluster, perf, inputs, config)
+    return sort_distributed(cluster, perf, inputs, config, faults=faults, retry=retry)
 
 
 def gather_output(
@@ -365,19 +583,21 @@ def gather_output(
     still charges the model (root-serialized receives, block-multiple
     messages), letting experiments quantify exactly what was excluded.
     Node outputs are already globally ordered by rank, so the gather is
-    a concatenation.
+    a concatenation.  In degraded mode ``result.active_ranks`` maps the
+    outputs back to their owning nodes.
     """
     from repro.extsort.multiway import RunCursor
 
     root_node = cluster.nodes[root]
     B = result.outputs[0].B if result.outputs else 1024
     dtype = result.outputs[0].dtype if result.outputs else np.uint32
+    ranks = result.active_ranks or list(range(len(result.outputs)))
     out = root_node.disk.new_file(
         B, dtype, name=root_node.disk.next_file_name("gathered")
     )
     with cluster.step("gather"):
         with BlockWriter(out, root_node.mem) as w:
-            for rank, f in enumerate(result.outputs):
+            for rank, f in zip(ranks, result.outputs):
                 if f.n_items == 0:
                     continue
                 src = cluster.nodes[rank]

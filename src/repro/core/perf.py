@@ -162,6 +162,21 @@ class PerfVector:
             raise IndexError(f"node {i} out of range 0..{self.p - 1}")
         return n * self.values[i] / self.total
 
+    def subset(self, indices: Sequence[int]) -> "PerfVector":
+        """The perf vector of a node subset (degraded-mode rescaling).
+
+        ``perf.subset(survivors)`` re-bases the performance-proportional
+        shares on the surviving nodes, which is what the 2x load-balance
+        bound is re-checked against after a node death.
+        """
+        idx = list(indices)
+        if not idx:
+            raise ValueError("subset cannot be empty")
+        for i in idx:
+            if not (0 <= i < self.p):
+                raise IndexError(f"node {i} out of range 0..{self.p - 1}")
+        return PerfVector([self.values[i] for i in idx])
+
     # -- derivation ----------------------------------------------------------
 
     @staticmethod

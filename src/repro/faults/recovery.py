@@ -1,0 +1,58 @@
+"""Step-level retry execution (the recovery half of the fault subsystem).
+
+The PSRS algorithm is bulk-synchronous: every step ends at a barrier, so
+the natural recovery unit is a whole step.  :class:`StepRunner` runs one
+step body under a :class:`~repro.faults.plan.RetryPolicy`: a transient
+:class:`~repro.faults.plan.FaultError` rolls the attempt back (step
+bodies are written against checkpointed inputs, so re-running them is
+safe) and the policy's backoff is charged to every participating node's
+*simulated* clock — failure handling costs wall time.
+
+:class:`~repro.faults.plan.NodeKilledError` is never retried here: a
+dead node cannot be waited back, so it propagates to the orchestrator in
+:mod:`repro.core.external_psrs`, which enters degraded mode instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TypeVar
+
+from repro.faults.plan import FaultCounters, FaultError, NodeKilledError, RetryPolicy
+
+T = TypeVar("T")
+
+
+class StepRunner:
+    """Runs barrier-delimited step bodies with retry accounting.
+
+    ``view`` is anything with ``nodes`` and a ``step(name)`` context
+    manager — a :class:`~repro.cluster.machine.Cluster` or the survivor
+    :class:`~repro.cluster.machine.ClusterView` degraded mode uses.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy],
+        counters: Optional[FaultCounters] = None,
+    ) -> None:
+        self.policy = policy
+        self.counters = counters if counters is not None else FaultCounters()
+
+    def run(self, view, name: str, fn: Callable[[], T]) -> T:
+        attempt = 1
+        while True:
+            try:
+                with view.step(name):
+                    return fn()
+            except NodeKilledError:
+                raise  # dead nodes are handled by degraded mode, not retry
+            except FaultError:
+                if self.policy is None or attempt >= self.policy.max_attempts:
+                    raise
+                self.counters.note_retry(name)
+                pause = self.policy.delay(attempt)
+                if pause > 0:
+                    for node in view.nodes:
+                        node.clock.advance(pause)
+                    self.counters.backoff_time += pause
+                attempt += 1

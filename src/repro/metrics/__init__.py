@@ -2,12 +2,13 @@
 
 from repro.metrics.expansion import PartitionStats, partition_stats
 from repro.metrics.timing import TrialStats, repeat_trials
-from repro.metrics.report import format_table, Table
+from repro.metrics.report import Table, fault_table, format_table
 
 __all__ = [
     "PartitionStats",
     "Table",
     "TrialStats",
+    "fault_table",
     "format_table",
     "partition_stats",
     "repeat_trials",

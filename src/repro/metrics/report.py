@@ -48,6 +48,31 @@ def _fmt(c: object) -> str:
     return str(c)
 
 
+def fault_table(counters, title: str = "fault injection") -> Table:
+    """Render a :class:`~repro.faults.plan.FaultCounters` as a report table.
+
+    One row per counter that is non-trivial, so a fault-free run prints a
+    single "(no faults injected)" band; the ``sort --fault-plan`` CLI and
+    the recovery test suite read retries/backoff out of this table.
+    """
+    table = Table(title, ["counter", "value"])
+    if counters.total_faults == 0 and counters.total_retries == 0:
+        table.add_section("(no faults injected)")
+        return table
+    table.add_row("disk faults", counters.disk_faults)
+    table.add_row("network faults", counters.network_faults)
+    table.add_row("messages dropped", counters.messages_dropped)
+    table.add_row("messages delayed", counters.messages_delayed)
+    table.add_row("node kills", counters.node_kills)
+    table.add_row("dead nodes", str(counters.dead_nodes) if counters.dead_nodes else "-")
+    for step in sorted(counters.retries):
+        table.add_row(f"retries[{step}]", counters.retries[step])
+    table.add_row("total retries", counters.total_retries)
+    table.add_row("backoff charged (s)", counters.backoff_time)
+    table.add_row("degraded mode", "yes" if counters.degraded else "no")
+    return table
+
+
 def format_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     """Monospace table with column alignment and section bands."""
     ncols = len(columns)

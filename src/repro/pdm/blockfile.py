@@ -89,6 +89,11 @@ class BlockFile:
 
         Appending after a partial final block is rejected — writers must
         pack items compactly (use :class:`BlockWriter`).
+
+        The write is charged *before* the payload is stored: block writes
+        are atomic, so an injected disk fault (raised from the charge)
+        leaves the file unchanged — a retried step never sees phantom
+        data from a failed attempt.
         """
         arr = np.asarray(items, dtype=self.dtype)
         if arr.ndim != 1:
@@ -102,10 +107,10 @@ class BlockFile:
                 f"file {self.name!r} already ends in a partial block; "
                 "blocks must be packed compactly"
             )
+        self.disk.charge_write(arr.size, self.itemsize)
         self._store_append(arr)
         self._block_sizes.append(arr.size)
         self._n_items += arr.size
-        self.disk.charge_write(arr.size, self.itemsize)
 
     def read_block(self, index: int) -> np.ndarray:
         """Read block ``index``.  Charges one block read."""

@@ -73,6 +73,16 @@ class SimDisk:
         Called with the service time of every I/O; the owning
         :class:`~repro.cluster.node.SimNode` uses this to advance its
         virtual clock.
+
+    Fault injection
+    ---------------
+    :attr:`fault_hook`, when set, is called as
+    ``hook(disk, op, n_items, itemsize)`` before every block I/O is
+    charged; raising from the hook aborts the access before any counter
+    or payload state changes (block I/Os are atomic: a faulted write
+    leaves the file untouched).  The
+    :class:`~repro.faults.injector.FaultInjector` installs hooks from a
+    declarative :class:`~repro.faults.plan.FaultPlan`.
     """
 
     def __init__(
@@ -98,6 +108,9 @@ class SimDisk:
         self.parallelism = parallelism
         self.stats = IOStats()
         self.file_factory = None
+        #: Optional fault-injection hook ``(disk, op, n_items, itemsize) -> None``;
+        #: may raise :class:`~repro.faults.plan.DiskFaultError`.
+        self.fault_hook: Optional[Callable[["SimDisk", str, int, int], None]] = None
         self._file_counter = 0
 
     def next_file_name(self, prefix: str = "f") -> str:
@@ -123,6 +136,8 @@ class SimDisk:
 
     def charge_read(self, n_items: int, itemsize: int) -> float:
         """Account one block read of ``n_items`` items; returns its cost."""
+        if self.fault_hook is not None:
+            self.fault_hook(self, "read", n_items, itemsize)
         cost = (
             self.params.access_cost(n_items * itemsize)
             * self.slowdown
@@ -135,6 +150,8 @@ class SimDisk:
 
     def charge_write(self, n_items: int, itemsize: int) -> float:
         """Account one block write of ``n_items`` items; returns its cost."""
+        if self.fault_hook is not None:
+            self.fault_hook(self, "write", n_items, itemsize)
         cost = (
             self.params.access_cost(n_items * itemsize)
             * self.slowdown

@@ -27,6 +27,7 @@ class IOStats:
     items_written: int = 0
     seeks: int = 0
     busy_time: float = 0.0
+    faults: int = 0
     labels: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -51,6 +52,11 @@ class IOStats:
         self.seeks += 1
         self.busy_time += cost
 
+    def record_fault(self) -> None:
+        """Count one injected I/O fault (the aborted access is *not*
+        counted in the read/write counters — it never completed)."""
+        self.faults += 1
+
     def bump(self, label: str, amount: int = 1) -> None:
         """Increment a free-form named counter (phase attribution)."""
         self.labels[label] = self.labels.get(label, 0) + amount
@@ -64,6 +70,7 @@ class IOStats:
             items_written=self.items_written,
             seeks=self.seeks,
             busy_time=self.busy_time,
+            faults=self.faults,
         )
         s.labels = dict(self.labels)
         return s
@@ -75,6 +82,7 @@ class IOStats:
         self.items_written = 0
         self.seeks = 0
         self.busy_time = 0.0
+        self.faults = 0
         self.labels.clear()
 
     def __add__(self, other: "IOStats") -> "IOStats":
@@ -85,6 +93,7 @@ class IOStats:
         out.items_written += other.items_written
         out.seeks += other.seeks
         out.busy_time += other.busy_time
+        out.faults += other.faults
         for k, v in other.labels.items():
             out.labels[k] = out.labels.get(k, 0) + v
         return out
@@ -98,6 +107,7 @@ class IOStats:
             items_written=self.items_written - other.items_written,
             seeks=self.seeks - other.seeks,
             busy_time=self.busy_time - other.busy_time,
+            faults=self.faults - other.faults,
         )
         for k, v in self.labels.items():
             d = v - other.labels.get(k, 0)

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.pdm.blockfile import BlockFile, BlockWriter
 from repro.pdm.disk import DiskParams, SimDisk
 from repro.pdm.memory import MemoryManager
+
+# Hypothesis budgets: "default" keeps the tier-1 run fast; "nightly" is
+# the large-budget sweep CI runs on a schedule (HYPOTHESIS_PROFILE=nightly).
+settings.register_profile("default", max_examples=25, deadline=None)
+settings.register_profile(
+    "nightly", max_examples=300, deadline=None, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 def make_disk(name: str = "d0", seek: float = 1e-3, bw: float = 50e6) -> SimDisk:

@@ -1,5 +1,13 @@
 """Failure injection: faults mid-algorithm must propagate cleanly and
-leave the memory accounting balanced (no phantom reservations)."""
+leave the memory accounting balanced (no phantom reservations).
+
+Faults are injected through the first-class hooks
+(:attr:`SimDisk.fault_hook` via :func:`repro.faults.install_disk_faults`,
+:class:`repro.faults.FaultInjector` for whole clusters) — the old
+``FaultyDisk`` subclass is gone.  :class:`repro.faults.DiskFaultError`
+subclasses :class:`IOError`, so these tests keep asserting the
+historical ``pytest.raises(IOError, match="injected disk fault")``.
+"""
 
 import numpy as np
 import pytest
@@ -10,6 +18,13 @@ from repro.core.perf import PerfVector
 from repro.extsort.balanced import balanced_merge_sort
 from repro.extsort.distribution import distribution_sort
 from repro.extsort.polyphase import polyphase_sort
+from repro.faults import (
+    DiskFault,
+    DiskFaultError,
+    FaultError,
+    FaultPlan,
+    install_disk_faults,
+)
 from repro.pdm.disk import DiskParams, SimDisk
 from repro.pdm.memory import MemoryManager
 from repro.workloads.generators import make_benchmark
@@ -17,88 +32,97 @@ from repro.workloads.generators import make_benchmark
 from tests.conftest import file_from_array
 
 
-class FaultyDisk(SimDisk):
-    """A disk that fails after a configured number of I/O operations."""
-
-    def __init__(self, fail_after: int, **kw) -> None:
-        super().__init__(**kw)
-        self.fail_after = fail_after
-        self._ops = 0
-
-    def _tick(self) -> None:
-        self._ops += 1
-        if self._ops > self.fail_after:
-            raise IOError(f"injected disk fault after {self.fail_after} I/Os")
-
-    def charge_read(self, n_items: int, itemsize: int) -> float:
-        self._tick()
-        return super().charge_read(n_items, itemsize)
-
-    def charge_write(self, n_items: int, itemsize: int) -> float:
-        self._tick()
-        return super().charge_write(n_items, itemsize)
-
-
 def _faulty_setup(fail_after: int, n: int = 800, capacity: int = 64):
-    disk = FaultyDisk(fail_after=10**9, params=DiskParams(1e-4, 1e8), name="faulty")
+    disk = SimDisk(DiskParams(1e-4, 1e8), name="faulty")
     mem = MemoryManager(capacity=capacity)
     data = make_benchmark(0, n, seed=0)
     src = file_from_array(data, disk, B=8, mem=mem)
-    disk.fail_after = disk._ops + fail_after  # arm after setup
-    return disk, mem, src
+    # Arm after setup: install_disk_faults counts I/Os from this call.
+    counters = install_disk_faults(
+        disk, [DiskFault(after_ios=fail_after, count=None)]
+    )
+    return disk, mem, src, counters
 
 
 @pytest.mark.parametrize("fail_after", [1, 5, 25, 120, 400])
 class TestSequentialEnginesUnderFaults:
     def test_polyphase_propagates_and_balances(self, fail_after):
-        disk, mem, src = _faulty_setup(fail_after)
+        disk, mem, src, counters = _faulty_setup(fail_after)
         with pytest.raises(IOError, match="injected disk fault"):
             polyphase_sort(src, disk, mem, n_tapes=4)
         assert mem.in_use == 0, "leaked memory reservations after fault"
+        # A permanent fault may fire again during cleanup I/O.
+        assert counters.disk_faults >= 1
+        assert disk.stats.faults == counters.disk_faults
 
     def test_balanced_propagates_and_balances(self, fail_after):
-        disk, mem, src = _faulty_setup(fail_after)
+        disk, mem, src, counters = _faulty_setup(fail_after)
         with pytest.raises(IOError, match="injected disk fault"):
             balanced_merge_sort(src, disk, mem)
         assert mem.in_use == 0
+        assert counters.disk_faults >= 1
 
     def test_distribution_propagates_and_balances(self, fail_after):
-        disk, mem, src = _faulty_setup(fail_after)
+        disk, mem, src, counters = _faulty_setup(fail_after)
         with pytest.raises(IOError, match="injected disk fault"):
             distribution_sort(src, disk, mem)
         assert mem.in_use == 0
+        assert counters.disk_faults >= 1
+
+
+class TestDiskFaultErrorShape:
+    def test_is_ioerror_and_faulterror(self):
+        disk, mem, src, _ = _faulty_setup(0)
+        with pytest.raises(DiskFaultError) as exc_info:
+            polyphase_sort(src, disk, mem, n_tapes=4)
+        err = exc_info.value
+        assert isinstance(err, IOError)
+        assert isinstance(err, FaultError)
+        assert err.disk_name == "faulty"
+        assert err.op in ("read", "write")
+        assert err.io_index >= 1
+
+    def test_faulted_io_is_not_counted(self):
+        """The fault fires before the I/O is charged: counters and file
+        contents are exactly as if the failing I/O never started."""
+        disk, mem, src, _ = _faulty_setup(0)
+        before = disk.stats.snapshot()
+        n_items = src.n_items
+        with pytest.raises(DiskFaultError):
+            polyphase_sort(src, disk, mem, n_tapes=4)
+        after = disk.stats.snapshot()
+        assert after.blocks_read == before.blocks_read
+        assert after.blocks_written == before.blocks_written
+        assert src.n_items == n_items
 
 
 class TestClusterUnderFaults:
     @pytest.mark.parametrize("fail_after", [3, 20, 60, 120])
     def test_psrs_fault_on_one_node(self, fail_after):
-        """A fault on one node aborts the whole (bulk-synchronous) sort;
-        every node's accounting must still balance."""
+        """A permanent fault on one node aborts the whole (bulk-synchronous)
+        sort; every node's accounting must still balance."""
         perf = PerfVector([1, 1])
         n = perf.nearest_exact(2_000)
         data = make_benchmark(0, n, seed=1)
         cluster = Cluster(homogeneous_cluster(2, memory_items=512))
-        # Replace node 1's disk with a faulty one (same observer wiring).
-        node = cluster.nodes[1]
-        faulty = FaultyDisk(
-            fail_after=10**9,
-            params=node.disk.params,
-            name=node.disk.name,
-            slowdown=node.disk.slowdown,
-            observer=node.clock.advance,
-        )
-        node.disk = faulty
         from repro.core.external_psrs import distribute_array, sort_distributed
 
         inputs = distribute_array(cluster, perf, data, 64)
-        faulty.fail_after = faulty._ops + fail_after
+        # Armed inside sort_distributed, i.e. after the setup writes.
+        plan = FaultPlan(
+            disk_faults=[DiskFault(node=1, after_ios=fail_after, count=None)]
+        )
         with pytest.raises(IOError, match="injected disk fault"):
             sort_distributed(
                 cluster, perf, inputs,
                 PSRSConfig(block_items=64, message_items=256),
+                faults=plan,
             )
         for nd in cluster.nodes:
             assert nd.mem.in_use == 0
+        # The injector uninstalled its hooks on the way out.
+        assert all(nd.disk.fault_hook is None for nd in cluster.nodes)
+        assert cluster.step_observers == []
 
     def test_fault_beyond_total_io_means_clean_completion(self):
         """A fault armed past the sort's total I/O never fires — and the
@@ -107,20 +131,16 @@ class TestClusterUnderFaults:
         n = perf.nearest_exact(2_000)
         data = make_benchmark(0, n, seed=1)
         cluster = Cluster(homogeneous_cluster(2, memory_items=512))
-        node = cluster.nodes[1]
-        faulty = FaultyDisk(
-            fail_after=10**9,
-            params=node.disk.params,
-            name=node.disk.name,
-            observer=node.clock.advance,
-        )
-        node.disk = faulty
+        plan = FaultPlan(disk_faults=[DiskFault(node=1, after_ios=10**9)])
         res = sort_array(
-            cluster, perf, data, PSRSConfig(block_items=64, message_items=256)
+            cluster, perf, data,
+            PSRSConfig(block_items=64, message_items=256),
+            faults=plan,
         )
         from repro.workloads.records import verify_sorted_permutation
 
         verify_sorted_permutation(data, res.to_array())
+        assert res.faults.total_faults == 0
 
     def test_fault_free_run_after_failed_run(self):
         """The cluster object remains usable after an aborted sort."""
@@ -128,20 +148,16 @@ class TestClusterUnderFaults:
         n = perf.nearest_exact(2_000)
         data = make_benchmark(0, n, seed=2)
         cluster = Cluster(homogeneous_cluster(2, memory_items=512))
-        node = cluster.nodes[0]
-        faulty = FaultyDisk(
-            fail_after=50,
-            params=node.disk.params,
-            name=node.disk.name,
-            observer=node.clock.advance,
+        plan = FaultPlan(
+            disk_faults=[DiskFault(node=0, after_ios=50, count=None)]
         )
-        node.disk = faulty
         with pytest.raises(IOError):
             sort_array(
-                cluster, perf, data, PSRSConfig(block_items=64, message_items=256)
+                cluster, perf, data,
+                PSRSConfig(block_items=64, message_items=256),
+                faults=plan,
             )
-        # Heal the disk, reset, run again.
-        faulty.fail_after = 10**12
+        # The failed run's hooks are gone; reset and run again clean.
         cluster.reset()
         res = sort_array(
             cluster, perf, data, PSRSConfig(block_items=64, message_items=256)

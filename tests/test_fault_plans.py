@@ -1,0 +1,225 @@
+"""Property tests over the fault-plan space (hypothesis).
+
+The central contract of the fault subsystem: for *any* seeded
+:class:`~repro.faults.FaultPlan`, the recoverable sort either
+
+* completes — and the output is a globally sorted permutation of the
+  input (never silently wrong), or
+* raises a typed :class:`~repro.faults.FaultError` subclass,
+
+and in **both** cases every node's :class:`MemoryManager` balances back
+to zero and every injection hook is removed.  Plans themselves are
+deterministic pure data: JSON round-trips losslessly, and the same
+(plan, workload) pair always injects the same faults.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Cluster, heterogeneous_cluster
+from repro.core.external_psrs import PSRSConfig, sort_array
+from repro.core.perf import PerfVector
+from repro.faults import (
+    DiskFault,
+    FaultError,
+    FaultPlan,
+    FaultPlanError,
+    MessageFault,
+    NodeKill,
+    RetryPolicy,
+)
+
+P = 3
+PERF = PerfVector([1, 2, 1])
+CONFIG = PSRSConfig(block_items=32, message_items=128)
+
+
+def _make_cluster() -> Cluster:
+    return Cluster(
+        heterogeneous_cluster([1.0, 2.0, 1.0], memory_items=512)
+    )
+
+
+def _make_data(seed: int) -> np.ndarray:
+    n = PERF.nearest_exact(600)
+    return np.random.default_rng(seed).integers(
+        0, 2**32, size=n, dtype=np.uint32
+    )
+
+
+# -- strategies -------------------------------------------------------------
+
+disk_faults = st.builds(
+    DiskFault,
+    node=st.integers(0, P - 1),
+    after_ios=st.integers(0, 250),
+    count=st.one_of(st.none(), st.integers(1, 3)),
+)
+
+message_faults = st.builds(
+    MessageFault,
+    drop_probability=st.floats(0, 0.5),
+    delay_probability=st.floats(0, 0.5),
+    delay=st.floats(0, 0.01),
+    fail_after=st.one_of(st.none(), st.integers(0, 30)),
+    count=st.integers(1, 2),
+    src=st.one_of(st.none(), st.integers(0, P - 1)),
+    dst=st.one_of(st.none(), st.integers(0, P - 1)),
+)
+
+node_kills = st.builds(
+    NodeKill, node=st.integers(0, P - 1), step=st.integers(1, 5)
+)
+
+fault_plans = st.builds(
+    FaultPlan,
+    disk_faults=st.lists(disk_faults, max_size=2),
+    message_faults=st.lists(message_faults, max_size=2),
+    node_kills=st.lists(node_kills, max_size=1),
+    seed=st.integers(0, 2**31),
+)
+
+
+# -- the central property ---------------------------------------------------
+
+
+class TestSortedOrTypedError:
+    @given(plan=fault_plans, data_seed=st.integers(0, 100))
+    def test_sorted_permutation_or_fault_error(self, plan, data_seed):
+        """Any plan: correct completion or a typed error — nothing else."""
+        data = _make_data(data_seed)
+        cluster = _make_cluster()
+        try:
+            res = sort_array(
+                cluster, PERF, data, CONFIG,
+                faults=plan,
+                retry=RetryPolicy(max_attempts=3, backoff=0.01),
+            )
+        except FaultError:
+            pass  # a typed injected failure is an allowed outcome
+        else:
+            out = res.to_array()
+            assert np.array_equal(out, np.sort(data)), (
+                "fault plan produced silently wrong output"
+            )
+            assert len(res.outputs) == len(res.active_ranks)
+        # Either way: accounting balances, hooks are gone.
+        for nd in cluster.nodes:
+            assert nd.mem.in_use == 0, f"node {nd.rank} leaked reservations"
+            assert nd.disk.fault_hook is None
+        assert cluster.network.fault_hook is None
+        assert cluster.step_observers == []
+
+    @given(plan=fault_plans, data_seed=st.integers(0, 100))
+    @settings(max_examples=10)
+    def test_injection_is_deterministic(self, plan, data_seed):
+        """Same (plan, workload) twice: same faults, same clocks, same output."""
+        data = _make_data(data_seed)
+        outcomes = []
+        for _ in range(2):
+            cluster = _make_cluster()
+            try:
+                res = sort_array(
+                    cluster, PERF, data, CONFIG,
+                    faults=plan,
+                    retry=RetryPolicy(max_attempts=2, backoff=0.01),
+                )
+                outcomes.append(
+                    (
+                        "ok",
+                        res.elapsed,
+                        res.faults.total_faults,
+                        res.faults.total_retries,
+                        res.faults.messages_dropped,
+                        res.faults.messages_delayed,
+                        tuple(res.active_ranks),
+                        res.to_array().tobytes(),
+                    )
+                )
+            except FaultError as exc:
+                outcomes.append(("raise", type(exc).__name__, str(exc)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestRecoveryModeIsCostTransparent:
+    def test_empty_plan_matches_fault_free_run_exactly(self):
+        """Recovery-mode execution (checkpointed clears, views, runner)
+        charges bit-identically to the plain path when nothing fires."""
+        data = _make_data(7)
+        c1 = _make_cluster()
+        r1 = sort_array(c1, PERF, data, CONFIG)
+        c2 = _make_cluster()
+        r2 = sort_array(
+            c2, PERF, data, CONFIG,
+            faults=FaultPlan(), retry=RetryPolicy(),
+        )
+        assert r1.elapsed == r2.elapsed
+        assert r1.io.block_ios == r2.io.block_ios
+        assert r1.network_bytes == r2.network_bytes
+        assert r1.network_messages == r2.network_messages
+        assert np.array_equal(r1.to_array(), r2.to_array())
+        assert r2.faults.total_faults == 0 and not r2.faults.degraded
+
+
+# -- plan data-model properties ---------------------------------------------
+
+
+class TestPlanSerialization:
+    @given(plan=fault_plans)
+    def test_json_round_trip(self, plan):
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    @given(plan=fault_plans)
+    def test_dict_round_trip(self, plan):
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_load_from_file(self, tmp_path):
+        plan = FaultPlan(
+            disk_faults=(DiskFault(node=1, after_ios=5),),
+            node_kills=(NodeKill(node=0, step=3),),
+            seed=9,
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"disks": []})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+
+class TestPlanValidation:
+    def test_out_of_range_node_rejected_at_install(self):
+        plan = FaultPlan(disk_faults=(DiskFault(node=7),))
+        with pytest.raises(FaultPlanError, match="7"):
+            plan.validate_for(P)
+
+    def test_duplicate_kill_rejected(self):
+        with pytest.raises(FaultPlanError, match="more than once"):
+            FaultPlan(
+                node_kills=(NodeKill(node=1, step=2), NodeKill(node=1, step=4))
+            )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: DiskFault(node=-1),
+            lambda: DiskFault(after_ios=-1),
+            lambda: DiskFault(count=0),
+            lambda: MessageFault(drop_probability=1.5),
+            lambda: MessageFault(delay=-0.1),
+            lambda: MessageFault(fail_after=-1),
+            lambda: NodeKill(node=0, step=0),
+            lambda: NodeKill(node=0, step=6),
+            lambda: NodeKill(node=-1, step=1),
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(FaultPlanError):
+            bad()
