@@ -1,0 +1,66 @@
+"""Static analysis + runtime sanitizers guarding the simulation invariants.
+
+Two complementary halves (see ``docs/ANALYSIS.md``):
+
+* the **linter** (:mod:`repro.analysis.engine`,
+  :mod:`repro.analysis.rules`, CLI ``python -m repro lint``) — an
+  AST pass codifying rules REP001..REP008 over ``src/repro``;
+* the **sanitizers** (:mod:`repro.analysis.sanitizers`) — opt-in
+  dynamic cross-checks the accounting surfaces (SimDisk,
+  MemoryManager, Network, BlockFile) consult when installed.
+"""
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.engine import (
+    AnalysisError,
+    AnalysisReport,
+    FileReport,
+    Finding,
+    ModuleContext,
+    Rule,
+    Suppression,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    package_relpath,
+    parse_noqa,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, get_rules
+from repro.analysis.sanitizers import (
+    RuntimeSanitizer,
+    SanitizerConfig,
+    SanitizerError,
+    SanitizerStats,
+    active_sanitizer,
+    install_sanitizers,
+    sanitized,
+    uninstall_sanitizers,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisError",
+    "AnalysisReport",
+    "Baseline",
+    "FileReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RULES_BY_CODE",
+    "RuntimeSanitizer",
+    "SanitizerConfig",
+    "SanitizerError",
+    "SanitizerStats",
+    "Suppression",
+    "active_sanitizer",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "fingerprint",
+    "get_rules",
+    "install_sanitizers",
+    "package_relpath",
+    "parse_noqa",
+    "sanitized",
+    "uninstall_sanitizers",
+]

@@ -1,0 +1,107 @@
+"""Baseline file: grandfathered findings that CI tolerates.
+
+The baseline lets the lint gate fail only on *new* violations: findings
+already present when the gate was introduced are fingerprinted and
+checked in (``lint-baseline.json`` at the repository root), and CI fails
+the moment a finding appears whose fingerprint is not in (or exceeds its
+count in) the baseline.
+
+Fingerprints are ``sha1(path | rule | stripped-source-line)`` — stable
+across line-number drift (unrelated edits above a finding do not break
+the match) but invalidated the moment the flagged line itself changes,
+which forces a human re-decision.  Duplicate identical lines in one file
+are handled with multiset counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.engine import AnalysisError, Finding, package_relpath
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding, independent of its line number."""
+    key = f"{package_relpath(finding.path)}|{finding.rule}|{finding.snippet}"
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: Counter[str] | None = None) -> None:
+        self.counts: Counter[str] = counts if counts is not None else Counter()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        p = Path(path)
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"{p}: cannot read baseline: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"{p}: invalid baseline JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise AnalysisError(
+                f"{p}: unsupported baseline (want version {BASELINE_VERSION})"
+            )
+        counts: Counter[str] = Counter()
+        for entry in data.get("entries", []):
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise AnalysisError(f"{p}: malformed baseline entry: {entry!r}")
+            counts[str(entry["fingerprint"])] += int(entry.get("count", 1))
+        return cls(counts)
+
+    @staticmethod
+    def write(path: str | Path, findings: list[Finding]) -> None:
+        """Serialise ``findings`` as the new baseline (stable ordering)."""
+        grouped: dict[str, dict[str, object]] = {}
+        for f in sorted(findings):
+            fp = fingerprint(f)
+            if fp in grouped:
+                grouped[fp]["count"] = int(grouped[fp]["count"]) + 1  # type: ignore[arg-type]
+            else:
+                grouped[fp] = {
+                    "fingerprint": fp,
+                    "rule": f.rule,
+                    "path": package_relpath(f.path),
+                    "snippet": f.snippet,
+                    "count": 1,
+                }
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                grouped.values(),
+                key=lambda e: (str(e["path"]), str(e["rule"]), str(e["fingerprint"])),
+            ),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into (new, baselined).
+
+        For each fingerprint, up to its baseline count of occurrences
+        (in source order) is tolerated; every occurrence beyond that is
+        new.
+        """
+        seen: Counter[str] = Counter()
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in sorted(findings):
+            fp = fingerprint(f)
+            seen[fp] += 1
+            if seen[fp] <= self.counts.get(fp, 0):
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old

@@ -1,0 +1,227 @@
+"""``python -m repro lint`` — the CI gate for simulation invariants.
+
+Exit codes (CI contract, tested):
+
+* ``0`` — clean, or every finding is suppressed/baselined;
+* ``1`` — at least one *new* finding;
+* ``2`` — internal error (unreadable path, unparsable file, bad rule
+  code, malformed baseline), so infrastructure breakage can never be
+  mistaken for a clean run.
+
+``--format json`` output is stable for tooling: fixed keys, findings
+sorted by (path, line, col, rule), no timestamps or absolute paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, fingerprint
+from repro.analysis.engine import (
+    AnalysisError,
+    AnalysisReport,
+    Finding,
+    analyze_paths,
+)
+from repro.analysis.rules import ALL_RULES, get_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL_ERROR = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyse (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="REPxxx",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+        f"(default: ./{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json is stable for tooling)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by # repro: noqa, with reasons",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _default_paths() -> list[str]:
+    import repro
+
+    return [str(Path(repro.__file__).parent)]
+
+
+def _default_baseline() -> Path | None:
+    cwd_candidate = Path(DEFAULT_BASELINE_NAME)
+    if cwd_candidate.is_file():
+        return cwd_candidate
+    import repro
+
+    repo_candidate = Path(repro.__file__).parent.parent.parent / DEFAULT_BASELINE_NAME
+    if repo_candidate.is_file():
+        return repo_candidate
+    return None
+
+
+def _list_rules(out: TextIO) -> None:
+    for rule in ALL_RULES:
+        scope = ", ".join(rule.scope) if rule.scope else "whole package"
+        out.write(f"{rule.code} {rule.name}: {rule.summary}\n")
+        out.write(f"    scope: {scope}\n")
+        if rule.exempt:
+            out.write(f"    exempt: {', '.join(rule.exempt)}\n")
+        out.write(f"    fix: {rule.fix_hint}\n")
+
+
+def _render_text(
+    out: TextIO,
+    new: list[Finding],
+    baselined: list[Finding],
+    report: AnalysisReport,
+    show_suppressed: bool,
+) -> None:
+    for f in new:
+        out.write(f.render() + "\n")
+    if show_suppressed:
+        for s in report.suppressed:
+            reason = f" ({s.reason})" if s.reason else ""
+            out.write(f"{s.finding.render()} [suppressed: noqa{reason}]\n")
+    out.write(
+        f"{len(new)} finding(s), {len(baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.files)} file(s) analysed\n"
+    )
+
+
+def _render_json(
+    out: TextIO,
+    new: list[Finding],
+    baselined: list[Finding],
+    report: AnalysisReport,
+) -> None:
+    payload = {
+        "version": 1,
+        "findings": [
+            {**f.to_dict(), "fingerprint": fingerprint(f)} for f in sorted(new)
+        ],
+        "baselined": [
+            {**f.to_dict(), "fingerprint": fingerprint(f)}
+            for f in sorted(baselined)
+        ],
+        "suppressed": [
+            {**s.finding.to_dict(), "reason": s.reason}
+            for s in sorted(report.suppressed, key=lambda s: s.finding)
+        ],
+        "summary": {
+            "files": len(report.files),
+            "findings": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(report.suppressed),
+        },
+    }
+    out.write(json.dumps(payload, indent=2) + "\n")
+
+
+def run_lint(
+    args: argparse.Namespace,
+    out: TextIO | None = None,
+    err: TextIO | None = None,
+) -> int:
+    """Execute the lint command; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    try:
+        if args.list_rules:
+            _list_rules(out)
+            return EXIT_CLEAN
+        rules = get_rules(args.rule)
+        paths = args.paths or _default_paths()
+        report = analyze_paths(paths, rules)
+        findings = report.findings
+
+        baseline_path: Path | None
+        if args.no_baseline:
+            baseline_path = None
+        elif args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        else:
+            baseline_path = _default_baseline()
+
+        if args.write_baseline:
+            target = baseline_path if baseline_path is not None else Path(
+                DEFAULT_BASELINE_NAME
+            )
+            Baseline.write(target, findings)
+            out.write(
+                f"wrote {len(findings)} finding(s) to baseline {target}\n"
+            )
+            return EXIT_CLEAN
+
+        if baseline_path is not None:
+            if not baseline_path.is_file():
+                raise AnalysisError(f"{baseline_path}: baseline file not found")
+            new, baselined = Baseline.load(baseline_path).split(findings)
+        else:
+            new, baselined = findings, []
+
+        if args.format == "json":
+            _render_json(out, new, baselined, report)
+        else:
+            _render_text(out, new, baselined, report, args.show_suppressed)
+        return EXIT_FINDINGS if new else EXIT_CLEAN
+    except AnalysisError as exc:
+        err.write(f"repro lint: internal error: {exc}\n")
+        return EXIT_INTERNAL_ERROR
+    except Exception as exc:  # CI contract: never report breakage as findings
+        err.write(f"repro lint: internal error: {type(exc).__name__}: {exc}\n")
+        return EXIT_INTERNAL_ERROR
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulation-invariant linter (REP001..REP008)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -8,6 +8,7 @@ table2      regenerate a (scaled) Table 2
 table3      regenerate a (scaled) Table 3 comparison
 sweep       the §5 message-size sweep
 workloads   list the 8 input benchmarks
+lint        simulation-invariant static analysis (REP001..REP008)
 """
 
 from __future__ import annotations
@@ -100,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--block", type=int, default=256)
 
     sub.add_parser("workloads", help="list the 8 input benchmarks")
+
+    from repro.analysis.cli import add_lint_arguments
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="simulation-invariant static analysis (REP001..REP008)",
+        description="AST linter enforcing the cost-model invariants; "
+        "exit 0 clean, 1 new findings, 2 internal error.",
+    )
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -253,6 +264,12 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_workloads(_args) -> int:
     from repro.workloads.generators import BENCHMARKS
 
@@ -268,6 +285,7 @@ _COMMANDS = {
     "table3": cmd_table3,
     "sweep": cmd_sweep,
     "workloads": cmd_workloads,
+    "lint": cmd_lint,
 }
 
 

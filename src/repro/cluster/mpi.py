@@ -52,7 +52,7 @@ class SimComm:
     def send(self, src: int, dst: int, payload: np.ndarray) -> np.ndarray:
         """Move ``payload`` from rank src to dst (copies; charges the model)."""
         arr = np.asarray(payload)
-        self.network.transfer(self.nodes[src], self.nodes[dst], arr.nbytes)
+        self.network.transfer(self.nodes[src], self.nodes[dst], arr.nbytes, item_bytes=arr.itemsize)
         return arr.copy()
 
     # -- collectives ---------------------------------------------------------
@@ -66,7 +66,7 @@ class SimComm:
         for i, arr in enumerate(payloads):
             arr = np.asarray(arr)
             if i != root:
-                self.network.transfer(self.nodes[i], self.nodes[root], arr.nbytes)
+                self.network.transfer(self.nodes[i], self.nodes[root], arr.nbytes, item_bytes=arr.itemsize)
             out.append(arr.copy())
         return out
 
@@ -84,7 +84,7 @@ class SimComm:
                 if peer < p and peer not in have:
                     src = (root + rel) % p
                     dst = (root + peer) % p
-                    self.network.transfer(self.nodes[src], self.nodes[dst], arr.nbytes)
+                    self.network.transfer(self.nodes[src], self.nodes[dst], arr.nbytes, item_bytes=arr.itemsize)
                     have.add(peer)
             step *= 2
         return [arr.copy() for _ in range(p)]
@@ -98,7 +98,7 @@ class SimComm:
         for i, arr in enumerate(payloads):
             arr = np.asarray(arr)
             if i != root:
-                self.network.transfer(self.nodes[root], self.nodes[i], arr.nbytes)
+                self.network.transfer(self.nodes[root], self.nodes[i], arr.nbytes, item_bytes=arr.itemsize)
             out.append(arr.copy())
         return out
 
@@ -125,7 +125,7 @@ class SimComm:
                 if arr is None:
                     continue
                 arr = np.asarray(arr)
-                self.network.transfer(self.nodes[i], self.nodes[j], arr.nbytes)
+                self.network.transfer(self.nodes[i], self.nodes[j], arr.nbytes, item_bytes=arr.itemsize)
                 recv[j][i] = arr.copy()
         return recv
 

@@ -17,7 +17,9 @@ which is what makes the all-to-all redistribution phase cost realistic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.analysis.sanitizers import active_sanitizer
 from repro.cluster.node import SimNode
 
 
@@ -117,12 +119,25 @@ class Network:
         #: service time (drops charged as retransmissions, delays).
         self.fault_hook = None
 
-    def transfer(self, src: SimNode, dst: SimNode, nbytes: int) -> float:
+    def transfer(
+        self,
+        src: SimNode,
+        dst: SimNode,
+        nbytes: int,
+        item_bytes: Optional[int] = None,
+    ) -> float:
         """Charge one ``src -> dst`` message; returns its completion time.
 
         Advances both clocks: the sender blocks for the transmission, the
         receiver blocks until the data has fully arrived.
+
+        ``item_bytes`` optionally declares the record width of the
+        payload; the runtime sanitizer then checks the message moves a
+        whole number of items (no torn records, paper step 4).
         """
+        san = active_sanitizer()
+        if san is not None:
+            san.on_transfer(self, src, dst, nbytes, item_bytes)
         if src.rank == dst.rank:
             return src.clock.time  # local "transfer" is free (same host)
         dur = self.link.message_time(nbytes, self.packet_bytes)

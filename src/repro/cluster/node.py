@@ -95,6 +95,7 @@ class SimNode:
             observer=self.clock.advance,
             parallelism=n_disks,
         )
+        self.disk.owner = self  # sanitizer node-isolation checks
         self.ops_charged = 0.0
         #: False once the node is declared dead by fault injection.  Its
         #: clock stops being part of barriers; its disk remains readable

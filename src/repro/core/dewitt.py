@@ -89,8 +89,8 @@ class DeWittResult:
         return max(self.expansions)
 
     def to_array(self) -> np.ndarray:
-        parts = [f.to_array() for f in self.outputs]
-        return np.concatenate(parts) if parts else np.empty(0)
+        parts = [f.to_array() for f in self.outputs]  # repro: noqa REP005(verification accessor; documented charge-free)
+        return np.concatenate(parts) if parts else np.empty(0)  # repro: noqa REP006(verification accessor; outside the simulated run)
 
 
 def _splitters_from_random_sample(
@@ -112,14 +112,14 @@ def _splitters_from_random_sample(
         n_blocks = min(f.n_blocks, max(1, -(-want // f.B)))
         idxs = rng.choice(f.n_blocks, size=n_blocks, replace=False)
         parts = []
-        for b in sorted(int(x) for x in idxs):
+        for b in sorted(int(x) for x in idxs):  # repro: noqa REP002(orders O(n/B) sampled block indices, metadata not records)
             with node.mem.reserve(f.inspect_block(b).size):
                 parts.append(f.read_block(b))
         pool = np.concatenate(parts)
         take = min(want, pool.size)
         samples.append(pool[rng.integers(0, pool.size, size=take)])
     gathered = cluster.comm.gather(samples, root=config.root)
-    cand = np.sort(np.concatenate(gathered), kind="stable")
+    cand = np.sort(np.concatenate(gathered), kind="stable")  # repro: noqa REP002(pivot-candidate sample, tiny vs M; compute charged below)
     cluster.nodes[config.root].compute(
         cand.size * float(np.log2(max(2, cand.size)))
     )
@@ -173,8 +173,8 @@ def sort_dewitt_distributed(
             return
         src, dst = cluster.nodes[src_rank], cluster.nodes[dst_rank]
         if src_rank != dst_rank:
-            cluster.network.transfer(src, dst, chunk.nbytes)
-        run = np.sort(chunk, kind="stable")
+            cluster.network.transfer(src, dst, chunk.nbytes, item_bytes=chunk.dtype.itemsize)
+        run = np.sort(chunk, kind="stable")  # repro: noqa REP002(one message-sized run; compute charged on the next line)
         dst.compute(run.size * float(np.log2(max(2, run.size))))
         f = dst.disk.new_file(B, run.dtype, name=dst.disk.next_file_name("dwrun"))
         with dst.mem.reserve(run.size):
@@ -213,7 +213,9 @@ def sort_dewitt_distributed(
     with cluster.step("3:merge-runs"):
         for j, node in enumerate(cluster.nodes):
             refs = [RunRef.whole(f) for f in runs[j] if f.n_items > 0]
-            out = merge_many(refs, node, config.engine, name=f"dwout{j}")
+            out = merge_many(
+                refs, node, config.engine, name=f"dwout{j}", B=config.block_items
+            )
             for f in runs[j]:
                 if f is not out:
                     f.clear()

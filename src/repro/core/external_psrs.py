@@ -173,8 +173,8 @@ class PSRSResult:
 
     def to_array(self) -> np.ndarray:
         """Charge-free concatenation of the global sorted output."""
-        parts = [f.to_array() for f in self.outputs]
-        return np.concatenate(parts) if parts else np.empty(0)
+        parts = [f.to_array() for f in self.outputs]  # repro: noqa REP005(verification accessor; documented charge-free)
+        return np.concatenate(parts) if parts else np.empty(0)  # repro: noqa REP006(verification accessor; outside the simulated run)
 
 
 def sort_distributed(
@@ -428,7 +428,9 @@ def _merge_step(view, received, config: PSRSConfig, clear_inputs: bool):
     outputs: list[BlockFile] = []
     for j, node in enumerate(view.nodes):
         refs = [RunRef.whole(f) for f in received[j] if f.n_items > 0]
-        out = merge_many(refs, node, config.engine, name=f"out{j}")
+        out = merge_many(
+            refs, node, config.engine, name=f"out{j}", B=config.block_items
+        )
         if clear_inputs:
             for f in received[j]:
                 if f is not out:
@@ -477,7 +479,7 @@ def _salvage_step(
                     if not got:
                         continue
                     chunk = parts[0] if len(parts) == 1 else np.concatenate(parts)
-                    cluster.network.transfer(dead, buddy, chunk.nbytes)
+                    cluster.network.transfer(dead, buddy, chunk.nbytes, item_bytes=chunk.dtype.itemsize)
                     with buddy.mem.reserve(chunk.size):
                         w.write(chunk)
         finally:
@@ -501,16 +503,27 @@ def _salvage_step(
     return merged
 
 
-def merge_many(refs: list[RunRef], node, engine: str, name: str = "out") -> BlockFile:
+def merge_many(
+    refs: list[RunRef],
+    node,
+    engine: str,
+    name: str = "out",
+    B: int | None = None,
+    dtype: np.dtype | type = np.uint32,
+) -> BlockFile:
     """Merge any number of sorted runs on one node, multi-pass if needed.
 
     Step 5 merges p runs; when p exceeds the memory-feasible merge order
     the runs are merged in groups (this re-uses the same k-way machinery
-    polyphase uses, as the paper prescribes).
+    polyphase uses, as the paper prescribes).  ``B`` / ``dtype`` shape the
+    output file only when ``refs`` is empty (a node that received
+    nothing); otherwise the geometry comes from the runs themselves.
     """
     disk, mem = node.disk, node.mem
     if not refs:
-        return disk.new_file(1024, np.uint32, name=disk.next_file_name(name))
+        if B is None:
+            raise ValueError("merge_many with no runs needs an explicit B")
+        return disk.new_file(B, dtype, name=disk.next_file_name(name))
     B = refs[0].file.B
     dtype = refs[0].file.dtype
     k = max_merge_order(mem, B)
@@ -620,7 +633,7 @@ def gather_output(
                         parts.append(part)
                     chunk = parts[0] if len(parts) == 1 else np.concatenate(parts)
                     if rank != root:
-                        cluster.network.transfer(src, root_node, chunk.nbytes)
+                        cluster.network.transfer(src, root_node, chunk.nbytes, item_bytes=chunk.dtype.itemsize)
                     with root_node.mem.reserve(chunk.size):
                         w.write(chunk)
     return out

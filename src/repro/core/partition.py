@@ -121,7 +121,7 @@ def partition_array(
 ) -> list[np.ndarray]:
     """In-core analogue (used by the in-core PSRS baseline)."""
     piv = np.asarray(list(pivots))
-    cuts = np.concatenate(
+    cuts = np.concatenate(  # repro: noqa REP006(O(p) cut-index vector, metadata not record data)
         ([0], np.searchsorted(sorted_data, piv, side="right"), [sorted_data.size])
     )
     return [sorted_data[cuts[j] : cuts[j + 1]] for j in range(len(cuts) - 1)]

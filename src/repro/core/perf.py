@@ -149,7 +149,7 @@ class PerfVector:
         shares = [n * v / self.total for v in self.values]
         base = [int(s) for s in shares]
         rem = n - sum(base)
-        order = sorted(
+        order = sorted(  # repro: noqa REP002(O(p) ordering of per-node shares, metadata)
             range(self.p), key=lambda i: (shares[i] - base[i], self.values[i]), reverse=True
         )
         for i in order[:rem]:

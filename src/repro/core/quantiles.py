@@ -114,7 +114,7 @@ def exact_quantile_pivots(
             break
         mids = {j: (lo[j] + hi[j]) // 2 for j in unresolved}
         # Root broadcasts probes; every node answers with local counts.
-        probe_arr = np.asarray(sorted(set(mids.values())), dtype=np.int64)
+        probe_arr = np.asarray(sorted(set(mids.values())), dtype=np.int64)  # repro: noqa REP002(O(p) probe keys per bisection round, metadata)
         cluster.comm.bcast(probe_arr, root=root)
         counts = {int(v): 0 for v in probe_arr}
         local = []

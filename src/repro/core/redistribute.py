@@ -140,7 +140,7 @@ def _take_chunk(cur: RunCursor, size: int) -> np.ndarray:
             got += part.size
     if not parts:
         return np.empty(0, dtype=cur.run.file.dtype)
-    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)  # repro: noqa REP006(message-sized chunk; receiver reserves before writing it)
 
 
 def _stream_local(
@@ -184,7 +184,7 @@ def _stream_remote(
             chunk = _take_chunk(cur, size)
             if chunk.size == 0:
                 continue
-            cluster.network.transfer(src, dst, chunk.size * itemsize)
+            cluster.network.transfer(src, dst, chunk.size * itemsize, item_bytes=itemsize)
             with dst.mem.reserve(chunk.size):
                 writer.write(chunk)
             report.messages += 1

@@ -131,7 +131,7 @@ def random_sample(
     n = file.n_items
     if n == 0 or n_samples == 0:
         return np.empty(0, dtype=file.dtype)
-    positions = np.sort(rng.integers(0, n, size=min(n_samples, n)))
+    positions = np.sort(rng.integers(0, n, size=min(n_samples, n)))  # repro: noqa REP002(sorts O(s) sample positions, metadata not records)
     return read_samples(file, positions, mem)
 
 
@@ -168,7 +168,7 @@ def select_pivots(
     (any order); this runs in core on the designated node — the paper
     notes the sample is tiny relative to M.
     """
-    cand = np.sort(np.asarray(candidates), kind="stable")
+    cand = np.sort(np.asarray(candidates), kind="stable")  # repro: noqa REP002(pivot candidates are tiny vs M per the paper; charged via compute below)
     if compute is not None and cand.size > 1:
         compute(cand.size * float(np.log2(cand.size)))
     if perf.p == 1:

@@ -192,7 +192,7 @@ def merge_cursors(
             n = sum(p.size for p in parts)
             with mem.reserve(n):
                 chunk = np.concatenate(parts)
-                chunk.sort(kind="stable")
+                chunk.sort(kind="stable")  # repro: noqa REP002(k-way vector merge under reservation; charged as a merge below)
                 writer.write(chunk)
         total += chunk.size
         if compute is not None:

@@ -266,5 +266,5 @@ class _SinkItemWriter:
     def __del__(self) -> None:  # pragma: no cover - defensive
         try:
             self.flush()
-        except Exception:
+        except Exception:  # repro: noqa REP007(defensive __del__ flush; teardown order is arbitrary)
             pass

@@ -18,8 +18,29 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.analysis.sanitizers import active_sanitizer
 from repro.pdm.disk import SimDisk
 from repro.pdm.memory import MemoryManager
+
+
+def _charged_write(disk: SimDisk, n_items: int, itemsize: int) -> None:
+    """One block write, sanitizer-bracketed (charged exactly once)."""
+    san = active_sanitizer()
+    if san is None:
+        disk.charge_write(n_items, itemsize)
+        return
+    with san.expect_block_charge(disk, "write"):
+        disk.charge_write(n_items, itemsize)
+
+
+def _charged_read(disk: SimDisk, n_items: int, itemsize: int) -> None:
+    """One block read, sanitizer-bracketed (charged exactly once)."""
+    san = active_sanitizer()
+    if san is None:
+        disk.charge_read(n_items, itemsize)
+        return
+    with san.expect_block_charge(disk, "read"):
+        disk.charge_read(n_items, itemsize)
 
 
 class BlockFile:
@@ -107,7 +128,7 @@ class BlockFile:
                 f"file {self.name!r} already ends in a partial block; "
                 "blocks must be packed compactly"
             )
-        self.disk.charge_write(arr.size, self.itemsize)
+        _charged_write(self.disk, arr.size, self.itemsize)
         self._store_append(arr)
         self._block_sizes.append(arr.size)
         self._n_items += arr.size
@@ -115,7 +136,7 @@ class BlockFile:
     def read_block(self, index: int) -> np.ndarray:
         """Read block ``index``.  Charges one block read."""
         blk = self._store_load(index)  # IndexError propagates
-        self.disk.charge_read(blk.size, self.itemsize)
+        _charged_read(self.disk, blk.size, self.itemsize)
         return blk.copy()
 
     def clear(self) -> None:

@@ -17,9 +17,20 @@ Default constants approximate the paper's late-90s SCSI drives (Table 1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.analysis.sanitizers import active_sanitizer
 from repro.pdm.stats import IOStats
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.cluster.node import SimNode
+    from repro.pdm.blockfile import BlockFile
+
+#: Signature of :attr:`SimDisk.file_factory` — how a disk manufactures
+#: block files (in-memory by default, host-spilled via FileStore.create).
+FileFactory = Callable[["SimDisk", int, "np.dtype | type", str], "BlockFile"]
 
 
 @dataclass(frozen=True)
@@ -107,7 +118,11 @@ class SimDisk:
         #: PDM cost measure — is unchanged (Theorem 1's n/D factor).
         self.parallelism = parallelism
         self.stats = IOStats()
-        self.file_factory = None
+        self.file_factory: Optional[FileFactory] = None
+        #: Owning :class:`~repro.cluster.node.SimNode`, set by the node at
+        #: construction.  The runtime sanitizer uses it for node-isolation
+        #: checks (a dead node's disk is salvage-readable, never writable).
+        self.owner: Optional["SimNode"] = None
         #: Optional fault-injection hook ``(disk, op, n_items, itemsize) -> None``;
         #: may raise :class:`~repro.faults.plan.DiskFaultError`.
         self.fault_hook: Optional[Callable[["SimDisk", str, int, int], None]] = None
@@ -118,7 +133,9 @@ class SimDisk:
         self._file_counter += 1
         return f"{self.name}/{prefix}{self._file_counter}"
 
-    def new_file(self, B: int, dtype, name=None):
+    def new_file(
+        self, B: int, dtype: "np.dtype | type", name: Optional[str] = None
+    ) -> "BlockFile":
         """Create a block file on this disk through its file factory.
 
         By default files store their payload in process memory; install a
@@ -136,6 +153,9 @@ class SimDisk:
 
     def charge_read(self, n_items: int, itemsize: int) -> float:
         """Account one block read of ``n_items`` items; returns its cost."""
+        san = active_sanitizer()
+        if san is not None:
+            san.on_disk_charge(self, "read", n_items, itemsize)
         if self.fault_hook is not None:
             self.fault_hook(self, "read", n_items, itemsize)
         cost = (
@@ -150,6 +170,9 @@ class SimDisk:
 
     def charge_write(self, n_items: int, itemsize: int) -> float:
         """Account one block write of ``n_items`` items; returns its cost."""
+        san = active_sanitizer()
+        if san is not None:
+            san.on_disk_charge(self, "write", n_items, itemsize)
         if self.fault_hook is not None:
             self.fault_hook(self, "write", n_items, itemsize)
         cost = (

@@ -15,6 +15,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.analysis.sanitizers import active_sanitizer
+
 
 class MemoryBudgetError(RuntimeError):
     """Raised when an algorithm tries to pin more than M items in core."""
@@ -37,6 +39,9 @@ class MemoryManager:
         self.in_use = 0
         self.high_water = 0
         self.total_reservations = 0
+        san = active_sanitizer()
+        if san is not None:
+            san.on_manager_created(self)  # leak tracking (SAN-MEM-LEAK)
 
     @property
     def available(self) -> int:

@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 from hypothesis import settings
 
+from repro.analysis.sanitizers import install_sanitizers, uninstall_sanitizers
 from repro.pdm.blockfile import BlockFile, BlockWriter
 from repro.pdm.disk import DiskParams, SimDisk
 from repro.pdm.memory import MemoryManager
@@ -19,6 +20,38 @@ settings.register_profile(
     "nightly", max_examples=300, deadline=None, print_blob=True
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    setattr(item, f"rep_{rep.when}", rep)
+
+
+@pytest.fixture(autouse=True)
+def _repro_sanitizers(request):
+    """Run every test under the runtime sanitizers (suite-wide).
+
+    Opt out per test with ``@pytest.mark.no_sanitizers`` (for tests that
+    deliberately violate an invariant) or suite-wide with
+    ``REPRO_SANITIZERS=0``.  The end-of-test leak check only fires when
+    the test body passed — a failing test legitimately leaves
+    reservations behind.
+    """
+    if os.environ.get("REPRO_SANITIZERS", "1") == "0" or request.node.get_closest_marker(
+        "no_sanitizers"
+    ):
+        yield
+        return
+    san = install_sanitizers()
+    try:
+        yield
+        rep = getattr(request.node, "rep_call", None)
+        if rep is not None and rep.passed:
+            san.assert_no_leaks()
+    finally:
+        uninstall_sanitizers(san)
 
 
 def make_disk(name: str = "d0", seek: float = 1e-3, bw: float = 50e6) -> SimDisk:

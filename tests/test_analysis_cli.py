@@ -1,0 +1,146 @@
+"""Exit-code contract and output stability of ``python -m repro lint``."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL_ERROR,
+    main,
+)
+
+CLEAN = "def double(x):\n    return 2 * x\n"
+DIRTY = "y = sorted(xs)\nt = time.time()\n"
+
+
+def lint(*argv: str) -> tuple[int, str, str]:
+    """Run the standalone lint CLI capturing stdout/stderr."""
+    import contextlib
+
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = main(list(argv))
+    return code, out.getvalue(), err.getvalue()
+
+
+def core_file(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    """Materialise a snippet under a fake ``repro/core`` tree."""
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True, exist_ok=True)
+    target = pkg / name
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        f = core_file(tmp_path, CLEAN)
+        code, out, _ = lint("--no-baseline", str(f))
+        assert code == EXIT_CLEAN
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, tmp_path):
+        f = core_file(tmp_path, DIRTY)
+        code, out, _ = lint("--no-baseline", str(f))
+        assert code == EXIT_FINDINGS
+        assert "REP002" in out and "REP003" in out
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        f = core_file(tmp_path, "def broken(:\n")
+        code, _, err = lint("--no-baseline", str(f))
+        assert code == EXIT_INTERNAL_ERROR
+        assert "internal error" in err
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        f = core_file(tmp_path, CLEAN)
+        code, _, err = lint("--no-baseline", "--rule", "REP999", str(f))
+        assert code == EXIT_INTERNAL_ERROR
+        assert "unknown rule" in err
+
+    def test_missing_baseline_file_exits_two(self, tmp_path):
+        f = core_file(tmp_path, CLEAN)
+        code, _, err = lint("--baseline", str(tmp_path / "none.json"), str(f))
+        assert code == EXIT_INTERNAL_ERROR
+        assert "baseline file not found" in err
+
+
+class TestRuleFilter:
+    def test_rule_filter_restricts_findings(self, tmp_path):
+        f = core_file(tmp_path, DIRTY)
+        code, out, _ = lint("--no-baseline", "--rule", "REP003", str(f))
+        assert code == EXIT_FINDINGS
+        assert "REP003" in out and "REP002" not in out
+
+    def test_list_rules_catalogues_all_codes(self):
+        code, out, _ = lint("--list-rules")
+        assert code == EXIT_CLEAN
+        for n in range(1, 9):
+            assert f"REP00{n}" in out
+
+
+class TestJsonFormat:
+    def test_json_payload_shape_and_stability(self, tmp_path):
+        f = core_file(tmp_path, DIRTY)
+        code1, out1, _ = lint("--no-baseline", "--format", "json", str(f))
+        code2, out2, _ = lint("--no-baseline", "--format", "json", str(f))
+        assert code1 == code2 == EXIT_FINDINGS
+        assert out1 == out2  # byte-stable for tooling
+        payload = json.loads(out1)
+        assert payload["version"] == 1
+        assert payload["summary"]["findings"] == len(payload["findings"]) == 2
+        first = payload["findings"][0]
+        for key in ("path", "line", "col", "rule", "message", "snippet", "fingerprint"):
+            assert key in first
+        rules = [x["rule"] for x in payload["findings"]]
+        assert rules == sorted(rules) or len(set(rules)) == len(rules)
+
+    def test_json_reports_suppressions_with_reasons(self, tmp_path):
+        f = core_file(
+            tmp_path, "y = sorted(xs)  # repro: noqa REP002(bounded sample)\n"
+        )
+        code, out, _ = lint("--no-baseline", "--format", "json", str(f))
+        assert code == EXIT_CLEAN
+        payload = json.loads(out)
+        assert payload["findings"] == []
+        assert payload["suppressed"][0]["reason"] == "bounded sample"
+
+
+class TestBaselineWorkflow:
+    def test_write_then_lint_clean_then_new_violation(self, tmp_path):
+        f = core_file(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+
+        code, out, _ = lint("--baseline", str(baseline), "--write-baseline", str(f))
+        assert code == EXIT_CLEAN and "wrote 2 finding(s)" in out
+
+        code, out, _ = lint("--baseline", str(baseline), str(f))
+        assert code == EXIT_CLEAN
+        assert "0 finding(s), 2 baselined" in out
+
+        # A new violation fails the gate and is the only one reported.
+        f.write_text(DIRTY + "f = open(p)\n", encoding="utf-8")
+        code, out, _ = lint("--baseline", str(baseline), str(f))
+        assert code == EXIT_FINDINGS
+        assert "REP001" in out and "REP002" not in out
+
+    def test_baselined_findings_survive_line_drift(self, tmp_path):
+        f = core_file(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        lint("--baseline", str(baseline), "--write-baseline", str(f))
+        f.write_text("# pushed down\n\n" + DIRTY, encoding="utf-8")
+        code, _, _ = lint("--baseline", str(baseline), str(f))
+        assert code == EXIT_CLEAN
+
+
+class TestSelfCheck:
+    def test_repro_package_lints_clean_against_repo_baseline(self):
+        pkg = Path(repro.__file__).parent
+        baseline = pkg.parent.parent / "lint-baseline.json"
+        assert baseline.is_file(), "repo baseline missing"
+        code, out, _ = lint("--baseline", str(baseline), str(pkg))
+        assert code == EXIT_CLEAN, out

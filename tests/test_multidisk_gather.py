@@ -124,8 +124,14 @@ class TestMergeMany:
 
     def test_empty_refs(self):
         node = SimNode(0)
-        out = merge_many([], node, "vector")
+        out = merge_many([], node, "vector", B=64)
         assert out.n_items == 0
+        assert out.B == 64
+
+    def test_empty_refs_require_explicit_block_size(self):
+        node = SimNode(0)
+        with pytest.raises(ValueError, match="explicit B"):
+            merge_many([], node, "vector")
 
     def test_single_whole_run_returned_directly(self, rng):
         node = SimNode(0)
