@@ -1,0 +1,50 @@
+"""Machine-readable headline benchmark: ``repro sort --format json``.
+
+Runs the Table-3 headline configuration ({1,1,4,4}, Fast-Ethernet,
+scaled N) through the real CLI and persists the JSON summary as
+``BENCH_sort.json`` at the repository root — a stable artifact other
+tooling (dashboards, regression bots) can diff between commits without
+parsing human-oriented tables.
+"""
+
+import io
+import json
+import os
+from contextlib import redirect_stdout
+
+from helpers import BLOCK_ITEMS, MEMORY_ITEMS, MESSAGE_ITEMS, N_TABLE3, once
+
+from repro.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ARGS = [
+    "sort",
+    "--n", str(N_TABLE3),
+    "--perf", "1,1,4,4",
+    "--memory", str(MEMORY_ITEMS),
+    "--block", str(BLOCK_ITEMS),
+    "--message", str(MESSAGE_ITEMS),
+    "--audit",
+    "--format", "json",
+]
+
+
+def test_bench_sort_json(benchmark):
+    buf = io.StringIO()
+
+    def run():
+        with redirect_stdout(buf):
+            rc = main(list(ARGS))
+        return rc
+
+    rc = once(benchmark, run)
+    assert rc == 0
+    summary = json.loads(buf.getvalue())
+    assert summary["verified"] is True
+    assert summary["audit"]["ok"] is True
+    assert summary["s_max"] < 1.5
+    path = os.path.join(REPO_ROOT, "BENCH_sort.json")
+    with open(path, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")

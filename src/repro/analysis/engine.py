@@ -175,7 +175,8 @@ class Rule:
     Subclasses set the class-level metadata and implement :meth:`check`.
     ``scope`` restricts the rule to package-relative path prefixes
     (empty = the whole package); ``exempt`` lists sanctioned modules the
-    rule never fires in (documented per rule in ``docs/ANALYSIS.md``).
+    rule never fires in — an entry ending in ``/`` exempts the whole
+    directory (documented per rule in ``docs/ANALYSIS.md``).
     """
 
     code: ClassVar[str] = "REP000"
@@ -187,8 +188,12 @@ class Rule:
     exempt: ClassVar[tuple[str, ...]] = ()
 
     def applies_to(self, relpath: str) -> bool:
-        if relpath in self.exempt:
-            return False
+        for entry in self.exempt:
+            if entry.endswith("/"):
+                if relpath.startswith(entry):  # directory exemption
+                    return False
+            elif relpath == entry:
+                return False
         if not self.scope:
             return True
         return any(relpath.startswith(prefix) for prefix in self.scope)

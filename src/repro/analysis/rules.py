@@ -329,6 +329,9 @@ class NodeIsolationRule(Rule):
         "cross-node movement; .size-only metadata access is free and legal."
     )
     scope = ("core/", "extsort/")
+    # obs/ is the observation plane: it reads event metadata only (never
+    # payload) and sits outside the simulated node boundary by design.
+    exempt = ("obs/",)
 
     _PRIVATE_STATE = {"_blocks", "_store_load", "_store_append", "_block_sizes"}
 
@@ -533,6 +536,9 @@ class SharedMutableStateRule(Rule):
         "Use None defaults materialised inside the function; hold per-node "
         "state on SimNode; declare genuine constants in ALL_CAPS."
     )
+    # obs/ deliberately aggregates cross-node state: the per-cluster
+    # telemetry bus is the one sanctioned shared observer.
+    exempt = ("obs/",)
 
     _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict",
                       "Counter", "deque"}

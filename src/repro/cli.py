@@ -9,6 +9,7 @@ table3      regenerate a (scaled) Table 3 comparison
 sweep       the §5 message-size sweep
 workloads   list the 8 input benchmarks
 lint        simulation-invariant static analysis (REP001..REP008)
+audit       replay a saved telemetry JSONL log through the bounds auditor
 """
 
 from __future__ import annotations
@@ -78,6 +79,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="base backoff seconds charged to the sim clock per retry",
     )
+    p_sort.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace/Perfetto JSON of the run "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    p_sort.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="write the raw telemetry event stream as JSONL "
+        "(replayable with 'repro audit')",
+    )
+    p_sort.add_argument(
+        "--audit",
+        action="store_true",
+        help="check measured per-step I/O against the paper bounds "
+        "(exit 1 on violation)",
+    )
+    p_sort.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="summary output format (json: one machine-readable object)",
+    )
 
     p_cal = sub.add_parser("calibrate", help="Table-2 perf-filling protocol")
     p_cal.add_argument("--n", type=int, default=2**17, help="total input size")
@@ -102,6 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list the 8 input benchmarks")
 
+    p_audit = sub.add_parser(
+        "audit",
+        help="replay a saved telemetry JSONL log through the bounds auditor",
+        description="Reads a JSONL event log written by 'repro sort --events' "
+        "(its run_meta line carries the run parameters) and re-checks every "
+        "step's measured I/O against the paper bounds; exit 1 on violation.",
+    )
+    p_audit.add_argument("events_file", help="JSONL log from 'repro sort --events'")
+    p_audit.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+
     from repro.analysis.cli import add_lint_arguments
 
     p_lint = sub.add_parser(
@@ -124,9 +163,12 @@ def _load_fault_plan(text: str):
 
 
 def cmd_sort(args) -> int:
+    import json
+
     from repro.cluster.machine import Cluster, heterogeneous_cluster
     from repro.cluster.network import FAST_ETHERNET, MYRINET
     from repro.core.external_psrs import PSRSConfig, sort_array
+    from repro.core.theory import max_duplicate_count
     from repro.faults.plan import RetryPolicy
     from repro.metrics.report import fault_table
     from repro.pdm.filestore import FileStore
@@ -143,6 +185,10 @@ def cmd_sort(args) -> int:
             [float(v) for v in perf.values], memory_items=args.memory, link=link
         )
     )
+    if args.events:
+        cluster.bus.set_level("full")
+    elif args.trace or args.audit:
+        cluster.bus.set_level("io")
     store = FileStore(args.spill_dir) if args.spill_dir else None
     if store is not None:
         for node in cluster.nodes:
@@ -153,33 +199,115 @@ def cmd_sort(args) -> int:
         if args.retries is not None
         else None
     )
-    res = sort_array(
-        cluster,
-        perf,
-        data,
-        PSRSConfig(
-            block_items=args.block,
-            message_items=args.message,
-            pivot_method=args.pivot_method,
-            seed=args.seed,
-        ),
-        faults=plan,
-        retry=retry,
+    cfg = PSRSConfig(
+        block_items=args.block,
+        message_items=args.message,
+        pivot_method=args.pivot_method,
+        seed=args.seed,
     )
+    res = sort_array(cluster, perf, data, cfg, faults=plan, retry=retry)
     verify_sorted_permutation(data, res.to_array())
-    print(f"sorted {res.n_items} items (verified) on perf={perf.values}")
-    print(f"simulated time: {res.elapsed:.3f} s   S(max): {res.s_max:.4f}")
-    for step, t in res.step_times.items():
-        print(f"  {step:<18} {t:9.4f} s")
-    print(
-        f"I/O blocks r/w: {res.io.blocks_read}/{res.io.blocks_written}   "
-        f"network: {res.network_messages} msgs / {res.network_bytes} bytes"
-    )
-    if plan is not None or retry is not None:
+
+    report = None
+    if args.trace or args.events or args.audit:
+        from repro.obs.audit import RunMeta, audit_run
+        from repro.obs.exporters import write_chrome_trace, write_jsonl
+
+        meta = RunMeta(
+            n_items=res.n_items,
+            perf=tuple(int(v) for v in perf.values),
+            memory_items=args.memory,
+            block_items=args.block,
+            oversample=cfg.oversample,
+            d_duplicates=max_duplicate_count(data),
+            pivot_method=args.pivot_method,
+        )
+        if args.events:
+            write_jsonl(args.events, cluster.bus.events, meta.to_dict())
+        if args.trace:
+            names = {node.rank: node.name for node in cluster.nodes}
+            write_chrome_trace(args.trace, cluster.bus.events, names)
+        if args.audit:
+            report = audit_run(cluster.bus.events, meta)
+
+    if args.format == "json":
+        summary = {
+            "command": "sort",
+            "n_items": res.n_items,
+            "perf": [int(v) for v in perf.values],
+            "benchmark": str(args.benchmark),
+            "pivot_method": args.pivot_method,
+            "verified": True,
+            "elapsed_seconds": res.elapsed,
+            "s_max": res.s_max,
+            "step_seconds": dict(res.step_times),
+            "io": {
+                "blocks_read": res.io.blocks_read,
+                "blocks_written": res.io.blocks_written,
+                "items_read": res.io.items_read,
+                "items_written": res.io.items_written,
+                "busy_seconds": res.io.busy_time,
+                "labels": dict(res.io.labels),
+            },
+            "network": {
+                "messages": res.network_messages,
+                "bytes": res.network_bytes,
+            },
+            "degraded": res.faults.degraded,
+            "faults": {
+                "total": res.faults.total_faults,
+                "retries": dict(res.faults.retries),
+                "backoff_seconds": res.faults.backoff_time,
+            },
+        }
+        if report is not None:
+            summary["audit"] = report.to_dict()
+        print(json.dumps(summary, indent=2, sort_keys=False))
+    else:
+        print(f"sorted {res.n_items} items (verified) on perf={perf.values}")
+        print(f"simulated time: {res.elapsed:.3f} s   S(max): {res.s_max:.4f}")
+        for step, t in res.step_times.items():
+            print(f"  {step:<18} {t:9.4f} s")
+        print(
+            f"I/O blocks r/w: {res.io.blocks_read}/{res.io.blocks_written}   "
+            f"network: {res.network_messages} msgs / {res.network_bytes} bytes"
+        )
+        if plan is not None or retry is not None:
+            if res.faults.degraded:
+                print(f"completed DEGRADED on survivors {res.active_ranks}")
+            print(fault_table(res.faults).render())
+        if report is not None:
+            print(report.table().render())
+    if report is not None:
         if res.faults.degraded:
-            print(f"completed DEGRADED on survivors {res.active_ranks}")
-        print(fault_table(res.faults).render())
+            if args.format != "json":
+                print("audit: degraded run — bounds not enforced")
+            return 0
+        return 0 if report.ok else 1
     return 0
+
+
+def cmd_audit(args) -> int:
+    import json
+
+    from repro.obs.audit import RunMeta, audit_run
+    from repro.obs.exporters import read_jsonl
+
+    meta_dict, events = read_jsonl(args.events_file)
+    if meta_dict is None:
+        print(
+            f"error: {args.events_file} has no run_meta line "
+            "(write it with 'repro sort --events PATH')",
+            file=sys.stderr,
+        )
+        return 2
+    meta = RunMeta.from_dict(meta_dict)
+    report = audit_run(events, meta)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.table().render())
+    return 0 if report.ok else 1
 
 
 def cmd_calibrate(args) -> int:
@@ -286,6 +414,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "workloads": cmd_workloads,
     "lint": cmd_lint,
+    "audit": cmd_audit,
 }
 
 

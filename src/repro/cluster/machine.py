@@ -16,6 +16,7 @@ from repro.cluster.network import FAST_ETHERNET, LinkModel, Network
 from repro.cluster.node import CpuParams, SimNode
 from repro.cluster.simclock import barrier
 from repro.cluster.trace import Trace
+from repro.obs.bus import TelemetryBus
 from repro.pdm.disk import DiskParams
 from repro.pdm.stats import IOStats
 
@@ -81,10 +82,22 @@ class Cluster:
         ]
         self.network = Network(spec.link, spec.p, spec.packet_bytes)
         self.comm = SimComm(self.nodes, self.network)
-        self.trace = Trace()
+        #: The cluster's telemetry bus — single source of truth for step
+        #: intervals (the :attr:`trace` view), phase-attributed I/O
+        #: counters and every exported event stream.
+        self.bus = TelemetryBus()
+        self.network.bus = self.bus
+        for node in self.nodes:
+            node.disk.bus = self.bus
+            node.mem.bus = self.bus
         #: Callbacks fired (with the step name) at the start of every
         #: :meth:`step`; the fault injector's node kills are raised here.
         self.step_observers: list = []
+
+    @property
+    def trace(self) -> Trace:
+        """Per-step interval view derived from the telemetry bus."""
+        return self.bus.trace
 
     @property
     def p(self) -> int:
@@ -103,15 +116,29 @@ class Cluster:
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
-        """Barrier-delimited algorithm step; records per-node trace events."""
-        t0 = self.barrier()
+        """Barrier-delimited algorithm step; publishes step telemetry.
+
+        Emits per-node ``StepBegin`` / ``StepEnd`` / ``BarrierWait``
+        events on the bus (the ``StepEnd`` records also maintain the
+        :attr:`trace` view) and attributes every event emitted inside
+        the body to ``name`` via the bus's step scope.  A body that
+        raises (an injected fault) leaves no end events, matching the
+        pre-bus trace semantics: only completed attempts are timed.
+        """
+        self.barrier()
         for obs in list(self.step_observers):
             obs(name)
         starts = [n.clock.time for n in self.nodes]
-        yield
         for n in self.nodes:
-            self.trace.record(name, n.rank, starts[n.rank], n.clock.time)
-        self.barrier()
+            self.bus.record_step_begin(name, n.rank, starts[n.rank])
+        with self.bus.step_scope(name):
+            yield
+        ends = [n.clock.time for n in self.nodes]
+        for n in self.nodes:
+            self.bus.record_step_end(name, n.rank, starts[n.rank], ends[n.rank])
+        t1 = self.barrier()
+        for n in self.nodes:
+            self.bus.record_barrier_wait(name, n.rank, t1, t1 - ends[n.rank])
 
     def io_stats(self) -> IOStats:
         """Aggregate disk counters across all nodes."""
@@ -130,7 +157,7 @@ class Cluster:
         for n in self.nodes:
             n.reset()
         self.network.reset()
-        self.trace = Trace()
+        self.bus.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         names = ", ".join(f"{n.name}(x{n.speed:g})" for n in self.nodes)
@@ -169,6 +196,10 @@ class ClusterView:
     def trace(self) -> Trace:
         return self.cluster.trace
 
+    @property
+    def bus(self) -> TelemetryBus:
+        return self.cluster.bus
+
     def elapsed(self) -> float:
         return max(n.clock.time for n in self.nodes)
 
@@ -181,11 +212,18 @@ class ClusterView:
         self.barrier()
         for obs in list(self.cluster.step_observers):
             obs(name)
+        bus = self.cluster.bus
         starts = [n.clock.time for n in self.nodes]
-        yield
         for start, n in zip(starts, self.nodes):
-            self.cluster.trace.record(name, n.rank, start, n.clock.time)
-        self.barrier()
+            bus.record_step_begin(name, n.rank, start)
+        with bus.step_scope(name):
+            yield
+        ends = [n.clock.time for n in self.nodes]
+        for start, end, n in zip(starts, ends, self.nodes):
+            bus.record_step_end(name, n.rank, start, end)
+        t1 = self.barrier()
+        for end, n in zip(ends, self.nodes):
+            bus.record_barrier_wait(name, n.rank, t1, t1 - end)
 
     def io_stats(self) -> IOStats:
         return IOStats.merge([n.disk.stats for n in self.nodes])

@@ -17,10 +17,13 @@ which is what makes the all-to-all redistribution phase cost realistic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.sanitizers import active_sanitizer
 from repro.cluster.node import SimNode
+
+if TYPE_CHECKING:
+    from repro.obs.bus import TelemetryBus
 
 
 @dataclass(frozen=True)
@@ -118,6 +121,9 @@ class Network:
         #: the message is not delivered or counted) or return extra
         #: service time (drops charged as retransmissions, delays).
         self.fault_hook = None
+        #: Telemetry bus (wired by the owning Cluster); every completed
+        #: message is published as a ``NetTransfer`` event.
+        self.bus: Optional["TelemetryBus"] = None
 
     def transfer(
         self,
@@ -153,6 +159,10 @@ class Network:
         dst.clock.advance_to(end)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if self.bus is not None:
+            self.bus.record_net_transfer(
+                src=src.rank, dst=dst.rank, t_end=end, nbytes=nbytes, duration=dur
+            )
         return end
 
     def reset(self) -> None:

@@ -87,6 +87,7 @@ class SimNode:
         self.cpu = cpu_params
         self.clock = VirtualClock()
         self.mem = MemoryManager(memory_items)
+        self.mem.owner = self  # telemetry events carry rank + clock time
         io_slowdown = (1.0 / self.speed) if io_scaled_by_speed else 1.0
         self.disk = SimDisk(
             disk_params,

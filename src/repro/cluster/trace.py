@@ -4,6 +4,13 @@ Records per-node, per-step intervals so experiments can report where the
 simulated time went (local sort vs pivots vs partition vs redistribution
 vs final merge) — the breakdown behind the paper's claim that the
 algorithm is communication-light.
+
+Since the telemetry bus landed (:mod:`repro.obs.bus`), a cluster's trace
+is a *view* maintained by the bus from its ``StepEnd`` events; this class
+stays the stable query API (``summary()``, ``imbalance()``, ``render()``)
+and can still be used standalone.  All queries are served from per-step
+indexes maintained on :meth:`record`, so ``summary()``/``imbalance()``
+no longer rescan the full event list per step.
 """
 
 from __future__ import annotations
@@ -28,34 +35,62 @@ class TraceEvent:
 
 @dataclass
 class Trace:
-    """Ordered collection of trace events with summary helpers."""
+    """Ordered collection of trace events with summary helpers.
+
+    ``events`` is the public, append-ordered record; the private
+    per-step indexes (event lists, per-node busy totals, step spans) are
+    derived state kept in sync by :meth:`record` / :meth:`extend` — use
+    those to add events, never ``events.append``.
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
+    _by_step: dict[str, list[TraceEvent]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _busy: dict[str, dict[int, float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _span: dict[str, tuple[float, float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for e in self.events:
+            self._index(e)
+
+    def _index(self, e: TraceEvent) -> None:
+        self._by_step.setdefault(e.step, []).append(e)
+        busy = self._busy.setdefault(e.step, {})
+        busy[e.node] = busy.get(e.node, 0.0) + e.duration
+        span = self._span.get(e.step)
+        if span is None:
+            self._span[e.step] = (e.t_start, e.t_end)
+        else:
+            self._span[e.step] = (min(span[0], e.t_start), max(span[1], e.t_end))
 
     def record(self, step: str, node: int, t_start: float, t_end: float) -> None:
         if t_end < t_start:
             raise ValueError(f"t_end {t_end} < t_start {t_start}")
-        self.events.append(TraceEvent(step, node, t_start, t_end))
+        e = TraceEvent(step, node, t_start, t_end)
+        self.events.append(e)
+        self._index(e)
 
     def steps(self) -> list[str]:
         """Step names in first-appearance order."""
-        seen: dict[str, None] = {}
-        for e in self.events:
-            seen.setdefault(e.step, None)
-        return list(seen)
+        return list(self._by_step)
 
     def for_step(self, step: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.step == step]
+        return list(self._by_step.get(step, ()))
 
     def step_duration(self, step: str) -> float:
         """Wall (barrier-to-barrier) duration of a step: max node interval."""
-        evs = self.for_step(step)
-        if not evs:
+        span = self._span.get(step)
+        if span is None:
             return 0.0
-        return max(e.t_end for e in evs) - min(e.t_start for e in evs)
+        return span[1] - span[0]
 
     def node_busy(self, step: str, node: int) -> float:
-        return sum(e.duration for e in self.for_step(step) if e.node == node)
+        return self._busy.get(step, {}).get(node, 0.0)
 
     def summary(self) -> dict[str, float]:
         """Step name -> barrier-to-barrier duration."""
@@ -63,15 +98,14 @@ class Trace:
 
     def imbalance(self, step: str) -> float:
         """max/mean node busy time within a step (1.0 = perfectly balanced)."""
-        evs = self.for_step(step)
-        if not evs:
+        busy = self._busy.get(step)
+        if not busy:
             return 1.0
-        nodes = sorted({e.node for e in evs})
-        busy = [self.node_busy(step, n) for n in nodes]
-        mean = sum(busy) / len(busy)
+        values = list(busy.values())
+        mean = sum(values) / len(values)
         if mean == 0:
             return 1.0
-        return max(busy) / mean
+        return max(values) / mean
 
     def render(self) -> str:
         """Human-readable per-step table."""
@@ -85,3 +119,4 @@ class Trace:
     def extend(self, events: Iterable[TraceEvent]) -> None:
         for e in events:
             self.events.append(e)
+            self._index(e)

@@ -59,6 +59,15 @@ class _DiskArm:
         self.fired += 1
         counters.disk_faults += 1
         disk.stats.record_fault()
+        bus = disk.bus
+        if bus is not None:
+            owner = disk.owner
+            bus.record_fault(
+                "disk",
+                node=owner.rank if owner is not None else -1,
+                t=owner.clock.time if owner is not None else disk.stats.busy_time,
+                detail=f"{disk.name} {op} io#{self.ios_seen}",
+            )
         raise DiskFaultError(disk.name, op, self.ios_seen)
 
 
@@ -83,6 +92,8 @@ class _MessageArm:
         duration: float,
         rng: np.random.Generator,
         counters: FaultCounters,
+        bus=None,
+        t: float = 0.0,
     ) -> float:
         """Return extra seconds to charge, or raise on a hard failure."""
         f = self.fault
@@ -95,14 +106,35 @@ class _MessageArm:
         ):
             self.fired += 1
             counters.network_faults += 1
+            if bus is not None:
+                bus.record_fault(
+                    "network",
+                    node=src_rank,
+                    t=t,
+                    detail=f"{src_rank}->{dst_rank} msg#{index}",
+                )
             raise NetworkFaultError(src_rank, dst_rank, index)
         extra = 0.0
         if f.drop_probability > 0 and rng.random() < f.drop_probability:
             counters.messages_dropped += 1
             extra += duration + f.delay  # full retransmission + timeout
+            if bus is not None:
+                bus.record_fault(
+                    "message-drop",
+                    node=src_rank,
+                    t=t,
+                    detail=f"{src_rank}->{dst_rank} msg#{index}",
+                )
         if f.delay_probability > 0 and rng.random() < f.delay_probability:
             counters.messages_delayed += 1
             extra += f.delay
+            if bus is not None:
+                bus.record_fault(
+                    "message-delay",
+                    node=src_rank,
+                    t=t,
+                    detail=f"{src_rank}->{dst_rank} msg#{index}",
+                )
         return extra
 
 
@@ -183,11 +215,18 @@ class FaultInjector:
     # -- hook bodies -------------------------------------------------------
 
     def _on_message(self, src, dst, nbytes: int, duration: float) -> float:
+        bus = self._cluster.bus if self._cluster is not None else None
         extra = 0.0
         for arm in self._message_arms:
             if arm.matches(src.rank, dst.rank):
                 extra += arm.check(
-                    src.rank, dst.rank, duration, self._rng, self.counters
+                    src.rank,
+                    dst.rank,
+                    duration,
+                    self._rng,
+                    self.counters,
+                    bus=bus,
+                    t=src.clock.time,
                 )
         return extra
 
@@ -206,6 +245,9 @@ class FaultInjector:
             node.mark_dead(name)
             self.counters.node_kills += 1
             self.counters.dead_nodes.append(rank)
+            self._cluster.bus.record_fault(
+                "node-kill", node=rank, t=node.clock.time, detail=name
+            )
             raise NodeKilledError(rank, step)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -51,6 +51,15 @@ class StepRunner:
                     raise
                 self.counters.note_retry(name)
                 pause = self.policy.delay(attempt)
+                bus = getattr(view, "bus", None)
+                if bus is not None:
+                    bus.record_retry(
+                        name,
+                        node=-1,  # backoff is charged cluster-wide
+                        t=max(n.clock.time for n in view.nodes),
+                        attempt=attempt,
+                        backoff=pause,
+                    )
                 if pause > 0:
                     for node in view.nodes:
                         node.clock.advance(pause)

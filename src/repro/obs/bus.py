@@ -1,0 +1,199 @@
+"""The telemetry bus: one append-only event stream per cluster.
+
+A :class:`TelemetryBus` is owned by a
+:class:`~repro.cluster.machine.Cluster` (standalone components can be
+wired to one by hand) and is the single source of truth for everything
+observable about a run:
+
+* the legacy :class:`~repro.cluster.trace.Trace` is maintained here,
+  incrementally, from ``StepEnd`` records — ``Cluster.trace`` is a view;
+* per-disk ``IOStats.labels`` phase attribution is derived from the
+  bus's context-scoped *step stack* (:meth:`step_scope`): a disk charge
+  inside ``with bus.step_scope("1:local-sort")`` is attributed to that
+  step;
+* exporters and the bounds auditor consume :attr:`events` after a run.
+
+Capture levels keep the always-on default cheap: ``"steps"`` records
+only step/barrier/fault/retry events (what the Trace view needs),
+``"io"`` adds block I/O and network transfers (exporters, audit),
+``"full"`` adds memory reserve/release.  Levels only gate *event
+object* creation; step attribution for ``IOStats.labels`` works at
+every level.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.cluster.trace import Trace
+from repro.obs.events import (
+    BarrierWait,
+    BlockRead,
+    BlockWrite,
+    Event,
+    FaultInjected,
+    MemRelease,
+    MemReserve,
+    NetTransfer,
+    Retry,
+    StepBegin,
+    StepEnd,
+)
+
+#: Capture levels, cheapest first; each includes everything before it.
+LEVELS: tuple[str, ...] = ("steps", "io", "full")
+
+
+class TelemetryBus:
+    """Append-only, SimClock-stamped event stream with step attribution."""
+
+    def __init__(self, level: str = "steps") -> None:
+        self.events: list[Event] = []
+        self._level = 0
+        self.set_level(level)
+        self._step_stack: list[str] = []
+        self._subscribers: list[Callable[[Event], None]] = []
+        self._trace = Trace()
+
+    # -- capture level -----------------------------------------------------
+
+    @property
+    def level(self) -> str:
+        return LEVELS[self._level]
+
+    def set_level(self, level: str) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown capture level {level!r}, expected one of {LEVELS}")
+        self._level = LEVELS.index(level)
+
+    @property
+    def captures_io(self) -> bool:
+        """True when block I/O and network events are recorded."""
+        return self._level >= 1
+
+    @property
+    def captures_memory(self) -> bool:
+        """True when memory reserve/release events are recorded."""
+        return self._level >= 2
+
+    # -- step attribution --------------------------------------------------
+
+    @property
+    def current_step(self) -> str:
+        """Innermost active step name, ``""`` outside any step."""
+        return self._step_stack[-1] if self._step_stack else ""
+
+    @contextmanager
+    def step_scope(self, name: str) -> Iterator[None]:
+        """Attribute every event emitted inside the body to ``name``."""
+        self._step_stack.append(name)
+        try:
+            yield
+        finally:
+            self._step_stack.pop()
+
+    # -- views and lifecycle -----------------------------------------------
+
+    @property
+    def trace(self) -> Trace:
+        """Per-step interval view (the legacy ``Cluster.trace`` API)."""
+        return self._trace
+
+    def clear(self) -> None:
+        """Drop all events and derived views; the capture level is kept."""
+        self.events.clear()
+        self._step_stack.clear()
+        self._trace = Trace()
+
+    def subscribe(self, fn: Callable[[Event], None]) -> None:
+        """Call ``fn`` with every event as it is emitted (live consumers)."""
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        self._subscribers.remove(fn)
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+        for fn in list(self._subscribers):
+            fn(event)
+
+    # -- typed recorders (the only emit sites components should use) -------
+
+    def record_step_begin(self, name: str, node: int, t: float) -> None:
+        self.emit(StepBegin(t=t, node=node, step=name))
+
+    def record_step_end(self, name: str, node: int, t_start: float, t_end: float) -> None:
+        """Record one node's step interval; also feeds the Trace view."""
+        self._trace.record(name, node, t_start, t_end)
+        self.emit(StepEnd(t=t_end, node=node, step=name, duration=t_end - t_start))
+
+    def record_barrier_wait(self, name: str, node: int, t: float, wait: float) -> None:
+        self.emit(BarrierWait(t=t, node=node, step=name, wait=wait))
+
+    def record_block_io(
+        self,
+        op: str,
+        *,
+        disk: str,
+        node: int,
+        t: float,
+        n_items: int,
+        itemsize: int,
+        cost: float,
+    ) -> None:
+        if not self.captures_io:
+            return
+        cls = BlockRead if op == "read" else BlockWrite
+        self.emit(
+            cls(
+                t=t,
+                node=node,
+                step=self.current_step,
+                disk=disk,
+                n_items=n_items,
+                itemsize=itemsize,
+                cost=cost,
+            )
+        )
+
+    def record_net_transfer(
+        self, *, src: int, dst: int, t_end: float, nbytes: int, duration: float
+    ) -> None:
+        if not self.captures_io:
+            return
+        self.emit(
+            NetTransfer(
+                t=t_end,
+                node=src,
+                step=self.current_step,
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                duration=duration,
+            )
+        )
+
+    def record_mem(self, op: str, *, node: int, t: float, n_items: int, in_use: int) -> None:
+        if not self.captures_memory:
+            return
+        cls = MemReserve if op == "reserve" else MemRelease
+        self.emit(
+            cls(t=t, node=node, step=self.current_step, n_items=n_items, in_use=in_use)
+        )
+
+    def record_fault(self, category: str, *, node: int, t: float, detail: str = "") -> None:
+        """Faults are recorded at every capture level (rare and load-bearing)."""
+        self.emit(
+            FaultInjected(
+                t=t, node=node, step=self.current_step, category=category, detail=detail
+            )
+        )
+
+    def record_retry(
+        self, name: str, *, node: int, t: float, attempt: int, backoff: float
+    ) -> None:
+        self.emit(Retry(t=t, node=node, step=name, attempt=attempt, backoff=backoff))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TelemetryBus(level={self.level!r}, {len(self.events)} events)"

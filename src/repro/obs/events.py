@@ -1,0 +1,176 @@
+"""Typed telemetry events.
+
+Every event is a frozen, keyword-only dataclass carrying the three
+attribution fields the whole observability layer is built on:
+
+``t``
+    Simulated time (seconds) at which the event *completed*, read from
+    the owning node's :class:`~repro.cluster.simclock.VirtualClock`.
+``node``
+    Rank of the node the event belongs to; ``-1`` for cluster-wide
+    events with no single owner (e.g. a retry backoff charged to every
+    participant).
+``step``
+    The algorithm step active when the event fired (the bus's
+    context-scoped attribution stack), ``""`` outside any step.
+
+Events serialise losslessly to flat JSON objects (``to_dict`` /
+:func:`event_from_dict`), which is what the JSONL exporter writes and
+the ``repro audit`` replay reads back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Mapping
+
+
+@dataclass(frozen=True, kw_only=True)
+class Event:
+    """Base of every telemetry event (time + node + step attribution)."""
+
+    kind: ClassVar[str] = "event"
+
+    t: float
+    node: int
+    step: str
+
+    def to_dict(self) -> dict[str, object]:
+        """Flat JSON-ready mapping; ``kind`` discriminates the type."""
+        out: dict[str, object] = {"kind": type(self).kind}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass(frozen=True, kw_only=True)
+class StepBegin(Event):
+    """A node entered a barrier-delimited algorithm step."""
+
+    kind: ClassVar[str] = "step_begin"
+
+
+@dataclass(frozen=True, kw_only=True)
+class StepEnd(Event):
+    """A node finished its work inside a step (before the exit barrier)."""
+
+    kind: ClassVar[str] = "step_end"
+
+    duration: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class BarrierWait(Event):
+    """Idle time a node spent at a step's exit barrier."""
+
+    kind: ClassVar[str] = "barrier_wait"
+
+    wait: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class BlockRead(Event):
+    """One charged block read on a simulated disk."""
+
+    kind: ClassVar[str] = "block_read"
+
+    disk: str
+    n_items: int
+    itemsize: int
+    cost: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class BlockWrite(Event):
+    """One charged block write on a simulated disk."""
+
+    kind: ClassVar[str] = "block_write"
+
+    disk: str
+    n_items: int
+    itemsize: int
+    cost: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class NetTransfer(Event):
+    """One point-to-point message (``node`` is the sending rank)."""
+
+    kind: ClassVar[str] = "net_transfer"
+
+    src: int
+    dst: int
+    nbytes: int
+    duration: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class MemReserve(Event):
+    """Items pinned in a node's internal-memory budget."""
+
+    kind: ClassVar[str] = "mem_reserve"
+
+    n_items: int
+    in_use: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class MemRelease(Event):
+    """Items unpinned from a node's internal-memory budget."""
+
+    kind: ClassVar[str] = "mem_release"
+
+    n_items: int
+    in_use: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultInjected(Event):
+    """An injected fault fired (disk, network, drop, delay, node kill)."""
+
+    kind: ClassVar[str] = "fault_injected"
+
+    category: str
+    detail: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class Retry(Event):
+    """A step attempt failed on a transient fault and will be re-run."""
+
+    kind: ClassVar[str] = "retry"
+
+    attempt: int
+    backoff: float
+
+
+#: Registry mapping the JSON ``kind`` discriminator back to its class.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        StepBegin,
+        StepEnd,
+        BarrierWait,
+        BlockRead,
+        BlockWrite,
+        NetTransfer,
+        MemReserve,
+        MemRelease,
+        FaultInjected,
+        Retry,
+    )
+}
+
+
+def event_from_dict(data: Mapping[str, object]) -> Event:
+    """Inverse of :meth:`Event.to_dict` (used by the JSONL replay)."""
+    kind = data.get("kind")
+    if not isinstance(kind, str) or kind not in EVENT_TYPES:
+        raise ValueError(f"unknown event kind {kind!r}")
+    cls = EVENT_TYPES[kind]
+    kwargs: dict[str, object] = {}
+    for f in fields(cls):
+        if f.name not in data:
+            raise ValueError(f"event {kind!r} is missing field {f.name!r}")
+        kwargs[f.name] = data[f.name]
+    return cls(**kwargs)  # type: ignore[arg-type]

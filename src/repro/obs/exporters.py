@@ -1,0 +1,315 @@
+"""Event-stream exporters: JSONL log, Chrome trace, Prometheus text.
+
+Three machine-readable renderings of one
+:class:`~repro.obs.bus.TelemetryBus` stream:
+
+* **JSONL** — one JSON object per line; an optional first ``run_meta``
+  line carries the run parameters the bounds auditor needs, so a saved
+  log replays with ``repro audit run.jsonl``.
+* **Chrome trace** — the ``traceEvents`` JSON format understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev: one process (pid)
+  per node, one thread (tid) per track (steps, barrier, each disk, net,
+  faults), complete (``"X"``) spans in microseconds.
+* **Prometheus text** — a counter snapshot in the exposition format,
+  for diffing runs or scraping from a wrapper service.
+
+All timestamps are simulated seconds from the bus; the Chrome exporter
+converts to microseconds (the format's unit) and emits spans sorted by
+start time, so ``ts`` is non-decreasing across the file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.obs.events import (
+    BarrierWait,
+    BlockRead,
+    BlockWrite,
+    Event,
+    FaultInjected,
+    MemRelease,
+    MemReserve,
+    NetTransfer,
+    Retry,
+    StepEnd,
+    event_from_dict,
+)
+
+#: pid used in Chrome traces for cluster-wide events (``node == -1``).
+CLUSTER_PID = 10_000
+
+_US = 1e6  # seconds -> microseconds
+
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def events_to_jsonl(
+    events: Iterable[Event], meta: Optional[Mapping[str, object]] = None
+) -> str:
+    """Serialise events (and an optional leading run_meta line) to JSONL."""
+    lines = []
+    if meta is not None:
+        record = {"kind": "run_meta"}
+        record.update(meta)
+        lines.append(json.dumps(record))
+    for e in events:
+        lines.append(json.dumps(e.to_dict()))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(
+    path: str, events: Iterable[Event], meta: Optional[Mapping[str, object]] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(events_to_jsonl(events, meta))
+
+
+def read_jsonl(path: str) -> tuple[Optional[dict], list[Event]]:
+    """Parse a JSONL event log; returns ``(run_meta or None, events)``."""
+    meta: Optional[dict] = None
+    events: list[Event] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("kind") == "run_meta":
+                meta = {k: v for k, v in data.items() if k != "kind"}
+            else:
+                events.append(event_from_dict(data))
+    return meta, events
+
+
+# -- Chrome trace -----------------------------------------------------------
+
+
+def to_chrome_trace(
+    events: Sequence[Event], node_names: Optional[Mapping[int, str]] = None
+) -> dict:
+    """Fold an event stream into a Chrome-trace/Perfetto JSON object.
+
+    Layout: pid = node rank (``CLUSTER_PID`` for node -1), tid = track
+    within the node — ``steps`` and ``barrier`` first, then one track
+    per disk, ``net``, and ``faults``.  Step/barrier/IO/net events
+    become complete (``X``) spans whose ``ts`` is the *start* time
+    (event timestamps are completion times); memory events become ``C``
+    counter samples; faults and retries become instants (``i``).
+    """
+    names = dict(node_names or {})
+    tids: dict[tuple[int, str], int] = {}
+    process_meta: dict[int, dict] = {}
+    thread_meta: list[dict] = []
+    spans: list[dict] = []
+
+    def pid_of(node: int) -> int:
+        return node if node >= 0 else CLUSTER_PID
+
+    def ensure_process(node: int) -> int:
+        pid = pid_of(node)
+        if pid not in process_meta:
+            name = names.get(node, f"node{node}") if node >= 0 else "cluster"
+            process_meta[pid] = {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": name},
+            }
+        return pid
+
+    def tid_of(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in tids:
+            tid = sum(1 for p, _ in tids if p == pid)
+            tids[key] = tid
+            thread_meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return tids[key]
+
+    def span(name, cat, ts, dur, pid, tid, args) -> dict:
+        return {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": ts * _US,
+            "dur": dur * _US,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+
+    for e in events:
+        pid = ensure_process(e.node)
+        if isinstance(e, StepEnd):
+            tid = tid_of(pid, "steps")
+            spans.append(
+                span(e.step, "step", e.t - e.duration, e.duration, pid, tid, {})
+            )
+        elif isinstance(e, BarrierWait):
+            tid = tid_of(pid, "barrier")
+            spans.append(
+                span(f"wait:{e.step}", "barrier", e.t - e.wait, e.wait, pid, tid, {})
+            )
+        elif isinstance(e, (BlockRead, BlockWrite)):
+            tid = tid_of(pid, f"disk:{e.disk}")
+            op = "read" if isinstance(e, BlockRead) else "write"
+            spans.append(
+                span(
+                    op,
+                    "io",
+                    e.t - e.cost,
+                    e.cost,
+                    pid,
+                    tid,
+                    {"items": e.n_items, "itemsize": e.itemsize, "step": e.step},
+                )
+            )
+        elif isinstance(e, NetTransfer):
+            tid = tid_of(pid, "net")
+            spans.append(
+                span(
+                    f"send->{e.dst}",
+                    "net",
+                    e.t - e.duration,
+                    e.duration,
+                    pid,
+                    tid,
+                    {"bytes": e.nbytes, "step": e.step},
+                )
+            )
+        elif isinstance(e, (MemReserve, MemRelease)):
+            spans.append(
+                {
+                    "name": "mem_in_use",
+                    "cat": "mem",
+                    "ph": "C",
+                    "ts": e.t * _US,
+                    "pid": pid,
+                    "args": {"items": e.in_use},
+                }
+            )
+        elif isinstance(e, FaultInjected):
+            tid = tid_of(pid, "faults")
+            spans.append(
+                {
+                    "name": f"fault:{e.category}",
+                    "cat": "fault",
+                    "ph": "i",
+                    "ts": e.t * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": {"detail": e.detail, "step": e.step},
+                }
+            )
+        elif isinstance(e, Retry):
+            tid = tid_of(pid, "faults")
+            spans.append(
+                {
+                    "name": f"retry:{e.step}",
+                    "cat": "fault",
+                    "ph": "i",
+                    "ts": e.t * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": {"attempt": e.attempt, "backoff": e.backoff},
+                }
+            )
+        # StepBegin carries no information a StepEnd span doesn't.
+
+    spans.sort(key=lambda s: s["ts"])  # stable: ties keep emission order
+    trace_events = [process_meta[pid] for pid in sorted(process_meta)]
+    trace_events.extend(thread_meta)
+    trace_events.extend(spans)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    events: Sequence[Event],
+    node_names: Optional[Mapping[int, str]] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(events, node_names), fh, indent=1)
+        fh.write("\n")
+
+
+# -- Prometheus text --------------------------------------------------------
+
+
+def _metric(v: object) -> str:
+    if isinstance(v, float):
+        return format(v, ".10g")
+    return str(v)
+
+
+def to_prometheus(events: Iterable[Event]) -> str:
+    """Fold an event stream into a Prometheus-exposition-format snapshot."""
+    counters: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    kinds: dict[str, tuple[str, str]] = {}
+
+    def add(name, labels, value, mtype, help_text) -> None:
+        kinds[name] = (mtype, help_text)
+        series = counters.setdefault(name, {})
+        key = tuple(sorted(labels.items()))
+        series[key] = series.get(key, 0.0) + value
+
+    def put(name, labels, value, mtype, help_text) -> None:
+        kinds[name] = (mtype, help_text)
+        series = counters.setdefault(name, {})
+        key = tuple(sorted(labels.items()))
+        series[key] = max(series.get(key, 0.0), value)
+
+    for e in events:
+        node = str(e.node)
+        if isinstance(e, (BlockRead, BlockWrite)):
+            op = "read" if isinstance(e, BlockRead) else "write"
+            lab = {"node": node, "disk": e.disk}
+            add(f"repro_blocks_{op}_total", lab, 1, "counter",
+                f"Block {op}s charged on simulated disks")
+            add(f"repro_items_{op}_total", lab, e.n_items, "counter",
+                f"Items moved by block {op}s")
+            add("repro_io_busy_seconds_total", lab, e.cost, "counter",
+                "Simulated disk service time")
+        elif isinstance(e, NetTransfer):
+            lab = {"src": str(e.src), "dst": str(e.dst)}
+            add("repro_net_messages_total", lab, 1, "counter",
+                "Point-to-point messages sent")
+            add("repro_net_bytes_total", lab, e.nbytes, "counter",
+                "Payload bytes sent")
+        elif isinstance(e, StepEnd):
+            add("repro_step_busy_seconds_total", {"step": e.step, "node": node},
+                e.duration, "counter", "Per-node busy time inside each step")
+        elif isinstance(e, BarrierWait):
+            add("repro_barrier_wait_seconds_total", {"step": e.step, "node": node},
+                e.wait, "counter", "Per-node idle time at step exit barriers")
+        elif isinstance(e, (MemReserve, MemRelease)):
+            put("repro_mem_in_use_peak_items", {"node": node}, e.in_use,
+                "gauge", "Peak observed in-core reservation")
+        elif isinstance(e, FaultInjected):
+            add("repro_faults_total", {"category": e.category}, 1, "counter",
+                "Injected faults that fired")
+        elif isinstance(e, Retry):
+            add("repro_retries_total", {"step": e.step}, 1, "counter",
+                "Step attempts re-run after transient faults")
+
+    lines: list[str] = []
+    for name in sorted(counters):
+        mtype, help_text = kinds[name]
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        for key in sorted(counters[name]):
+            label_text = ",".join(f'{k}="{v}"' for k, v in key)
+            lines.append(f"{name}{{{label_text}}} {_metric(counters[name][key])}")
+    return "\n".join(lines) + "\n"

@@ -26,6 +26,7 @@ if TYPE_CHECKING:
     import numpy as np
 
     from repro.cluster.node import SimNode
+    from repro.obs.bus import TelemetryBus
     from repro.pdm.blockfile import BlockFile
 
 #: Signature of :attr:`SimDisk.file_factory` — how a disk manufactures
@@ -126,6 +127,10 @@ class SimDisk:
         #: Optional fault-injection hook ``(disk, op, n_items, itemsize) -> None``;
         #: may raise :class:`~repro.faults.plan.DiskFaultError`.
         self.fault_hook: Optional[Callable[["SimDisk", str, int, int], None]] = None
+        #: Telemetry bus (wired by the owning Cluster).  Every charged
+        #: block I/O is published as a ``BlockRead``/``BlockWrite`` event
+        #: and attributed, via ``stats.bump``, to the bus's current step.
+        self.bus: Optional["TelemetryBus"] = None
         self._file_counter = 0
 
     def next_file_name(self, prefix: str = "f") -> str:
@@ -166,6 +171,8 @@ class SimDisk:
         self.stats.record_read(n_items, cost)
         if self.observer is not None:
             self.observer(cost)
+        if self.bus is not None:
+            self._publish("read", n_items, itemsize, cost)
         return cost
 
     def charge_write(self, n_items: int, itemsize: int) -> float:
@@ -183,7 +190,34 @@ class SimDisk:
         self.stats.record_write(n_items, cost)
         if self.observer is not None:
             self.observer(cost)
+        if self.bus is not None:
+            self._publish("write", n_items, itemsize, cost)
         return cost
+
+    def _publish(self, op: str, n_items: int, itemsize: int, cost: float) -> None:
+        """Publish one completed block I/O to the telemetry bus.
+
+        Called after the stats and observer updates so the event's
+        timestamp is the access's *completion* time on the owning node's
+        clock (standalone disks fall back to their accumulated busy
+        time, which is equally monotone).
+        """
+        bus = self.bus
+        if bus is None:  # pragma: no cover - guarded by callers
+            return
+        step = bus.current_step
+        if step:
+            self.stats.bump(step)
+        owner = self.owner
+        bus.record_block_io(
+            op,
+            disk=self.name,
+            node=owner.rank if owner is not None else -1,
+            t=owner.clock.time if owner is not None else self.stats.busy_time,
+            n_items=n_items,
+            itemsize=itemsize,
+            cost=cost,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimDisk({self.name!r}, {self.stats})"

@@ -13,9 +13,13 @@ hundreds of items) to force genuinely out-of-core execution paths.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.analysis.sanitizers import active_sanitizer
+
+if TYPE_CHECKING:
+    from repro.cluster.node import SimNode
+    from repro.obs.bus import TelemetryBus
 
 
 class MemoryBudgetError(RuntimeError):
@@ -39,6 +43,13 @@ class MemoryManager:
         self.in_use = 0
         self.high_water = 0
         self.total_reservations = 0
+        #: Owning :class:`~repro.cluster.node.SimNode` (set by the node);
+        #: used to stamp telemetry events with rank and clock time.
+        self.owner: Optional["SimNode"] = None
+        #: Telemetry bus (wired by the owning Cluster).  Reservations are
+        #: published as ``MemReserve``/``MemRelease`` at the ``"full"``
+        #: capture level only.
+        self.bus: Optional["TelemetryBus"] = None
         san = active_sanitizer()
         if san is not None:
             san.on_manager_created(self)  # leak tracking (SAN-MEM-LEAK)
@@ -62,6 +73,8 @@ class MemoryManager:
         self.total_reservations += 1
         if self.in_use > self.high_water:
             self.high_water = self.in_use
+        if self.bus is not None:
+            self._publish("reserve", n_items)
 
     def release(self, n_items: int) -> None:
         """Unpin ``n_items`` previously acquired items."""
@@ -72,6 +85,8 @@ class MemoryManager:
                 f"releasing {n_items} items but only {self.in_use} are in use"
             )
         self.in_use -= n_items
+        if self.bus is not None:
+            self._publish("release", n_items)
 
     @contextmanager
     def reserve(self, n_items: int) -> Iterator[None]:
@@ -81,6 +96,20 @@ class MemoryManager:
             yield
         finally:
             self.release(n_items)
+
+    def _publish(self, op: str, n_items: int) -> None:
+        """Publish one reservation change to the telemetry bus."""
+        bus = self.bus
+        if bus is None or not bus.captures_memory:
+            return
+        owner = self.owner
+        bus.record_mem(
+            op,
+            node=owner.rank if owner is not None else -1,
+            t=owner.clock.time if owner is not None else 0.0,
+            n_items=n_items,
+            in_use=self.in_use,
+        )
 
     def checkpoint(self) -> int:
         """Current usage, for leak assertions in tests."""

@@ -117,15 +117,32 @@ class IOStats:
 
     @staticmethod
     def merge(stats: "list[IOStats] | tuple[IOStats, ...]") -> "IOStats":
-        """Aggregate several devices' counters into one."""
+        """Aggregate several devices' counters into one.
+
+        Accumulates in place on a single fresh instance — O(total
+        counters), no per-iteration snapshots of the accumulator.
+        """
         out = IOStats()
         for s in stats:
-            out = out + s
+            out.blocks_read += s.blocks_read
+            out.blocks_written += s.blocks_written
+            out.items_read += s.items_read
+            out.items_written += s.items_written
+            out.seeks += s.seeks
+            out.busy_time += s.busy_time
+            out.faults += s.faults
+            for k, v in s.labels.items():
+                out.labels[k] = out.labels.get(k, 0) + v
         return out
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"IOStats(blocks r/w={self.blocks_read}/{self.blocks_written}, "
-            f"items r/w={self.items_read}/{self.items_written}, "
-            f"busy={self.busy_time:.4f}s)"
-        )
+    def __str__(self) -> str:
+        parts = [
+            f"blocks r/w={self.blocks_read}/{self.blocks_written}",
+            f"items r/w={self.items_read}/{self.items_written}",
+            f"busy={self.busy_time:.4f}s",
+        ]
+        if self.labels:
+            pairs = sorted(self.labels.items())  # repro: noqa REP002(O(steps) label-name sort, display only)
+            inner = ", ".join(f"{k}: {v}" for k, v in pairs)
+            parts.append("labels{" + inner + "}")
+        return "IOStats(" + ", ".join(parts) + ")"

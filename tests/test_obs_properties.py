@@ -1,0 +1,77 @@
+"""Property-based invariants of the telemetry event stream.
+
+Every run, whatever its shape, must produce a well-formed stream: step
+begins and ends pair up per (step, node), and each node's events carry
+non-decreasing timestamps (simulated time never runs backwards on one
+clock).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Cluster, heterogeneous_cluster
+from repro.core.external_psrs import PSRSConfig, sort_array
+from repro.core.perf import PerfVector
+from repro.obs.events import StepBegin, StepEnd
+from repro.workloads.generators import make_benchmark
+
+SPEEDS = {2: [1.0, 2.0], 3: [1.0, 1.0, 4.0]}
+
+
+@st.composite
+def run_params(draw):
+    p = draw(st.sampled_from([2, 3]))
+    perf = [int(s) for s in SPEEDS[p]]
+    n = draw(st.integers(1_000, 6_000))
+    bench = draw(st.sampled_from([0, "zipf"]))
+    level = draw(st.sampled_from(["steps", "io"]))
+    return perf, n, bench, level
+
+
+@given(run_params())
+@settings(max_examples=10, deadline=None)
+def test_event_stream_is_well_formed(params):
+    perf_vals, n, bench, level = params
+    perf = PerfVector(perf_vals)
+    n = perf.nearest_exact(n)
+    data = make_benchmark(bench, n, seed=0)
+    cluster = Cluster(
+        heterogeneous_cluster(SPEEDS[perf.p], memory_items=512)
+    )
+    cluster.bus.set_level(level)
+    sort_array(cluster, perf, data, PSRSConfig(block_items=64, message_items=256))
+    events = cluster.bus.events
+    assert events
+
+    # Every StepBegin has exactly one matching StepEnd (same step, node),
+    # and the end never precedes its begin.
+    begins = {}
+    ends = {}
+    for e in events:
+        if isinstance(e, StepBegin):
+            key = (e.step, e.node)
+            assert key not in begins, f"duplicate StepBegin {key}"
+            begins[key] = e
+        elif isinstance(e, StepEnd):
+            key = (e.step, e.node)
+            assert key not in ends, f"duplicate StepEnd {key}"
+            assert key in begins, f"StepEnd {key} without StepBegin"
+            ends[key] = e
+            assert e.t >= begins[key].t
+            assert e.duration >= 0
+    assert set(begins) == set(ends), "unmatched StepBegin(s)"
+
+    # Per-node timestamps are non-decreasing in emission order.
+    last = {}
+    for e in events:
+        assert e.t >= last.get(e.node, 0.0), (
+            f"time ran backwards on node {e.node}: {e}"
+        )
+        last[e.node] = e.t
+
+    # The trace view agrees with the paired events.
+    for (step, node), end in ends.items():
+        assert any(
+            te.node == node and te.duration == end.duration
+            for te in cluster.trace.for_step(step)
+        )
