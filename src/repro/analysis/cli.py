@@ -8,8 +8,14 @@ Exit codes (CI contract, tested):
   code, malformed baseline), so infrastructure breakage can never be
   mistaken for a clean run.
 
+``--deep`` additionally runs the flow-aware interprocedural rules
+(REP101..REP105, :mod:`repro.analysis.flow`) on top of the syntactic
+pass — same exit contract, same noqa/baseline machinery; deep findings
+fingerprint identically, so one baseline file covers both passes.
+
 ``--format json`` output is stable for tooling: fixed keys, findings
-sorted by (path, line, col, rule), no timestamps or absolute paths.
+sorted by (path, line, rule), engine version keys, no timestamps or
+absolute paths.
 """
 
 from __future__ import annotations
@@ -22,12 +28,20 @@ from typing import Sequence, TextIO
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, fingerprint
 from repro.analysis.engine import (
+    ENGINE_VERSION,
     AnalysisError,
     AnalysisReport,
+    FileReport,
     Finding,
     analyze_paths,
 )
-from repro.analysis.rules import ALL_RULES, get_rules
+from repro.analysis.flow import (
+    DEEP_RULES_BY_CODE,
+    FLOW_ENGINE_VERSION,
+    analyze_deep,
+    get_deep_rules,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, get_rules
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -46,6 +60,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="append",
         metavar="REPxxx",
         help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the flow-aware interprocedural rules (REP101..REP105)",
     )
     parser.add_argument(
         "--baseline",
@@ -101,13 +120,67 @@ def _default_baseline() -> Path | None:
 
 
 def _list_rules(out: TextIO) -> None:
-    for rule in ALL_RULES:
+    deep_rules = tuple(DEEP_RULES_BY_CODE[c] for c in sorted(DEEP_RULES_BY_CODE))
+    for rule in (*ALL_RULES, *deep_rules):
         scope = ", ".join(rule.scope) if rule.scope else "whole package"
-        out.write(f"{rule.code} {rule.name}: {rule.summary}\n")
+        tag = " [deep]" if rule.code in DEEP_RULES_BY_CODE else ""
+        out.write(f"{rule.code} {rule.name}{tag}: {rule.summary}\n")
         out.write(f"    scope: {scope}\n")
         if rule.exempt:
             out.write(f"    exempt: {', '.join(rule.exempt)}\n")
         out.write(f"    fix: {rule.fix_hint}\n")
+
+
+def _split_rule_codes(
+    codes: Sequence[str] | None, deep: bool
+) -> tuple[Sequence[str] | None, Sequence[str] | None]:
+    """Partition ``--rule`` selections into (shallow, deep) code lists.
+
+    Returns ``None`` for a pass meaning "all its rules"; an empty list
+    meaning "skip that pass entirely" (the user filtered it out).
+    """
+    if not codes:
+        return None, (None if deep else [])
+    shallow: list[str] = []
+    deep_codes: list[str] = []
+    for code in codes:
+        upper = code.upper()
+        if upper in RULES_BY_CODE:
+            shallow.append(code)
+        elif upper in DEEP_RULES_BY_CODE:
+            deep_codes.append(code)
+        else:
+            known = sorted(RULES_BY_CODE) + sorted(DEEP_RULES_BY_CODE)
+            raise AnalysisError(
+                f"unknown rule {code!r}; have {', '.join(known)}"
+            )
+    if deep_codes and not deep:
+        raise AnalysisError(
+            f"rule(s) {', '.join(sorted(c.upper() for c in deep_codes))} "
+            "are flow-aware deep rules; pass --deep to enable them"
+        )
+    return shallow, deep_codes
+
+
+def _merge_reports(
+    shallow: AnalysisReport, deep: AnalysisReport
+) -> AnalysisReport:
+    """Fold the deep pass into the shallow one, keyed by display path.
+
+    Both passes walk the same files, so file counts must not double;
+    findings for the same file are combined and re-sorted.
+    """
+    by_path: dict[str, FileReport] = {fr.path: fr for fr in shallow.files}
+    for fr in deep.files:
+        base = by_path.get(fr.path)
+        if base is None:
+            by_path[fr.path] = fr
+            shallow.files.append(fr)
+        else:
+            base.findings.extend(fr.findings)
+            base.findings.sort()
+            base.suppressed.extend(fr.suppressed)
+    return shallow
 
 
 def _render_text(
@@ -130,24 +203,33 @@ def _render_text(
     )
 
 
+def _finding_order(f: Finding) -> tuple[str, int, str, int]:
+    """Stable JSON ordering contract: (path, line, rule), then column."""
+    return (f.path, f.line, f.rule, f.col)
+
+
 def _render_json(
     out: TextIO,
     new: list[Finding],
     baselined: list[Finding],
     report: AnalysisReport,
+    deep: bool,
 ) -> None:
     payload = {
         "version": 1,
+        "engine_version": ENGINE_VERSION,
+        "flow_engine_version": FLOW_ENGINE_VERSION if deep else None,
         "findings": [
-            {**f.to_dict(), "fingerprint": fingerprint(f)} for f in sorted(new)
+            {**f.to_dict(), "fingerprint": fingerprint(f)}
+            for f in sorted(new, key=_finding_order)
         ],
         "baselined": [
             {**f.to_dict(), "fingerprint": fingerprint(f)}
-            for f in sorted(baselined)
+            for f in sorted(baselined, key=_finding_order)
         ],
         "suppressed": [
             {**s.finding.to_dict(), "reason": s.reason}
-            for s in sorted(report.suppressed, key=lambda s: s.finding)
+            for s in sorted(report.suppressed, key=lambda s: _finding_order(s.finding))
         ],
         "summary": {
             "files": len(report.files),
@@ -171,9 +253,17 @@ def run_lint(
         if args.list_rules:
             _list_rules(out)
             return EXIT_CLEAN
-        rules = get_rules(args.rule)
+        deep = getattr(args, "deep", False)
+        shallow_codes, deep_codes = _split_rule_codes(args.rule, deep)
         paths = args.paths or _default_paths()
-        report = analyze_paths(paths, rules)
+        if shallow_codes == []:
+            report = AnalysisReport()  # --rule selected deep codes only
+        else:
+            report = analyze_paths(paths, get_rules(shallow_codes))
+        if deep and deep_codes != []:
+            report = _merge_reports(
+                report, analyze_deep(paths, get_deep_rules(deep_codes))
+            )
         findings = report.findings
 
         baseline_path: Path | None
@@ -202,7 +292,7 @@ def run_lint(
             new, baselined = findings, []
 
         if args.format == "json":
-            _render_json(out, new, baselined, report)
+            _render_json(out, new, baselined, report, deep)
         else:
             _render_text(out, new, baselined, report, args.show_suppressed)
         return EXIT_FINDINGS if new else EXIT_CLEAN
@@ -217,7 +307,10 @@ def run_lint(
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="simulation-invariant linter (REP001..REP008)",
+        description=(
+            "simulation-invariant linter (REP001..REP008; "
+            "--deep adds flow-aware REP101..REP105)"
+        ),
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -38,6 +38,11 @@ from pathlib import Path, PurePosixPath
 from typing import ClassVar, Iterable, Iterator, Sequence
 
 
+#: Version of the analysis engine, reported in the stable JSON payload.
+#: Bumped when rules, fingerprints, or output semantics change.
+ENGINE_VERSION = "2.0"
+
+
 class AnalysisError(RuntimeError):
     """Internal analysis failure (unreadable file, syntax error, bad
     configuration) — mapped to exit code 2 by the CLI, never 1."""

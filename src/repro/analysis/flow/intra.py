@@ -1,0 +1,538 @@
+"""Intra-procedural typestate interpretation for BlockFile handles.
+
+An abstract interpreter over one function body tracking every
+``BlockFile`` / ``BlockWriter`` / ``BlockReader`` the function creates:
+
+* **allocation sites** are the abstract objects; plain ``a = b``
+  assignments alias two names to the same object (the intra-module
+  alias analysis the call graph promises);
+* each object carries a *state set* — writers move through
+  ``{open} -> {closed}`` (or ``{abandoned}``), files through
+  ``{empty} -> {written}`` — and branch joins union the sets, so a
+  reported seal/read event is *definite*: it happens on **all** paths
+  that reach the statement, never "might happen";
+* an object **escapes** (and stops being judged) the moment the
+  function loses custody: returned, yielded, stored into a container
+  or attribute, passed to an unknown call, or captured by a nested
+  function.
+
+The checks:
+
+* ``leak`` — a non-escaped writer still open on **some** normal exit
+  path (its buffered tail is never flushed and its B-item memory
+  reservation never released) — the one *may*-check, because a close
+  on only one branch is exactly the classic partial-close bug;
+* ``double_close`` — ``close()`` on a definitely-closed writer (dead
+  code at best, a confused lifecycle always; ``abandon()`` -> ``close()``
+  is the sanctioned error-path idiom and is not reported);
+* ``write_after_seal`` — ``write``/``write_one`` on a writer that is
+  definitely closed or abandoned (raises ``ValueError`` at runtime);
+* ``read_never_written`` — a ``BlockReader``/``read_block``/``read_all``
+  over a file that is definitely empty and never had a writer attached.
+
+``try`` bodies are joined pessimistically (a fault can interrupt the
+body anywhere), loops run to a two-pass approximate fixpoint, and both
+checks and state transitions only fire on definite state sets — the
+standard recipe for a lint that must not cry wolf.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.flow.project import name_chain
+
+#: constructor / factory spellings that create tracked objects
+_WRITER_CTORS = {"BlockWriter"}
+_READER_CTORS = {"BlockReader"}
+_FILE_CTORS = {"BlockFile", "DiskBackedBlockFile", "StripedFile"}
+_FILE_FACTORIES = {"new_file"}
+
+_WRITE_METHODS = {"write", "write_one"}
+_FILE_READ_METHODS = {"read_block", "read_all", "to_array"}
+
+#: sentinel: a creation-shaped call that was fully handled but yields no
+#: tracked object (reader construction)
+_HANDLED = object()
+
+
+@dataclass
+class TypestateEvent:
+    """One definite lifecycle violation, located at an AST node."""
+
+    kind: str  # "leak" | "double_close" | "write_after_seal" | "read_never_written"
+    node: ast.AST
+    obj_name: str
+    detail: str
+
+
+@dataclass(eq=False)
+class AbstractObject:
+    """One allocation site (identity = object identity)."""
+
+    kind: str  # "writer" | "file"
+    origin: ast.AST
+    name: str
+    file: "AbstractObject | None" = None  # writers: the file they feed
+    writer_attached: bool = False  # files: ever had a writer/appender
+
+
+class Env:
+    """Variable bindings plus per-object state for one program point."""
+
+    def __init__(self) -> None:
+        self.vars: dict[str, AbstractObject] = {}
+        self.states: dict[int, frozenset[str]] = {}
+        self.escaped: set[int] = set()
+
+    def copy(self) -> "Env":
+        out = Env()
+        out.vars = dict(self.vars)
+        out.states = dict(self.states)
+        out.escaped = set(self.escaped)
+        return out
+
+    def state_of(self, obj: AbstractObject) -> frozenset[str]:
+        return self.states.get(id(obj), frozenset())
+
+    def set_state(self, obj: AbstractObject, states: frozenset[str]) -> None:
+        self.states[id(obj)] = states
+
+    def escape(self, obj: AbstractObject) -> None:
+        self.escaped.add(id(obj))
+
+    def is_escaped(self, obj: AbstractObject) -> bool:
+        return id(obj) in self.escaped
+
+
+def _join(a: Env | None, b: Env | None) -> Env | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    out = Env()
+    for name, obj in a.vars.items():
+        if b.vars.get(name) is obj:
+            out.vars[name] = obj  # drop names the branches bind differently
+    for key in a.states.keys() | b.states.keys():
+        out.states[key] = a.states.get(key, frozenset()) | b.states.get(
+            key, frozenset()
+        )
+    out.escaped = a.escaped | b.escaped
+    return out
+
+
+class TypestateInterpreter:
+    """Run the typestate abstraction over one function body."""
+
+    def __init__(self, fn_node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.fn = fn_node
+        self.events: list[TypestateEvent] = []
+        self.objects: list[AbstractObject] = []
+        self._exit_envs: list[Env] = []
+        self._reported: set[tuple[str, int]] = set()
+        #: writers currently open via an enclosing ``with`` — closed by
+        #: __exit__ even when a return statement leaves the block early
+        self._with_stack: list[AbstractObject] = []
+
+    def run(self) -> list[TypestateEvent]:
+        env = self.exec_block(self.fn.body, Env())
+        if env is not None:
+            self._exit_envs.append(env)
+        self._check_leaks()
+        return self.events
+
+    # -- events --------------------------------------------------------------
+
+    def _emit(self, kind: str, node: ast.AST, obj: AbstractObject, detail: str) -> None:
+        key = (kind, id(obj))
+        if key in self._reported:
+            return  # one report per (check, allocation site)
+        self._reported.add(key)
+        self.events.append(TypestateEvent(kind, node, obj.name, detail))
+
+    def _check_leaks(self) -> None:
+        for env in self._exit_envs:
+            for obj in self.objects:
+                if obj.kind != "writer" or env.is_escaped(obj):
+                    continue
+                if "open" in env.state_of(obj):
+                    self._emit(
+                        "leak", obj.origin, obj,
+                        "writer can still be open at function exit: the "
+                        "buffered tail is never flushed and its B-item "
+                        "reservation never released",
+                    )
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt], env: Env) -> Env | None:
+        cur: Env | None = env
+        for stmt in stmts:
+            if cur is None:
+                return None  # unreachable after return/raise
+            cur = self.exec_stmt(stmt, cur)
+        return cur
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> Env | None:
+        if isinstance(stmt, ast.Assign):
+            return self._exec_assign(stmt, env)
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None and isinstance(stmt.target, ast.Name):
+                fake = ast.Assign(targets=[stmt.target], value=stmt.value)
+                ast.copy_location(fake, stmt)
+                return self._exec_assign(fake, env)
+            if stmt.value is not None:
+                self.eval_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval_escaping(stmt.value, env)
+            exit_env = env.copy()
+            for obj in self._with_stack:  # __exit__ still closes these
+                exit_env.set_state(obj, frozenset({"closed"}))
+            self._exit_envs.append(exit_env)
+            return None
+        if isinstance(stmt, ast.Raise):
+            return None  # error exits are not judged for leaks
+        if isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test, env)
+            out_body = self.exec_block(stmt.body, env.copy())
+            out_else = self.exec_block(stmt.orelse, env.copy())
+            return _join(out_body, out_else)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval_expr(stmt.iter, env)
+            for sub in ast.walk(stmt.target):
+                if isinstance(sub, ast.Name):
+                    env.vars.pop(sub.id, None)  # loop target rebinds
+            merged = env.copy()
+            for _ in range(2):  # two-pass approximate fixpoint
+                out = self.exec_block(stmt.body, merged.copy())
+                joined = _join(merged, out)
+                assert joined is not None
+                merged = joined
+            out_else = self.exec_block(stmt.orelse, merged.copy())
+            return _join(_join(env, merged), out_else)
+        if isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test, env)
+            merged = env.copy()
+            for _ in range(2):
+                out = self.exec_block(stmt.body, merged.copy())
+                joined = _join(merged, out)
+                assert joined is not None
+                merged = joined
+            out_else = self.exec_block(stmt.orelse, merged.copy())
+            return _join(_join(env, merged), out_else)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._exec_with(stmt, env)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, env)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            self._escape_captured(stmt, env)
+            return env
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Pass,
+                             ast.Import, ast.ImportFrom, ast.Global,
+                             ast.Nonlocal)):
+            return env
+        if isinstance(stmt, (ast.Assert, ast.Delete, ast.AugAssign)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval_expr(child, env)
+            return env
+        # anything else: evaluate its expressions conservatively
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child, env)
+        return env
+
+    def _exec_assign(self, stmt: ast.Assign, env: Env) -> Env:
+        value = stmt.value
+        created = self._creation(value, env, stmt)
+        if created is _HANDLED:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.vars.pop(target.id, None)
+                else:
+                    self.eval_expr(target, env)
+            return env
+        if isinstance(created, AbstractObject):
+            name_targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+            rest = [t for t in stmt.targets if not isinstance(t, ast.Name)]
+            for target in name_targets:
+                env.vars[target.id] = created
+            if rest:  # stored straight into a container/attribute
+                env.escape(created)
+                for target in rest:
+                    self.eval_expr(target, env)
+            return env
+        if isinstance(value, ast.Name) and value.id in env.vars:
+            obj = env.vars[value.id]
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.vars[target.id] = obj  # alias
+                else:
+                    self._store_escape(target, obj, env)
+            return env
+        # generic RHS: evaluate (checks + call-arg escapes), then rebind
+        self.eval_expr(value, env)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                env.vars.pop(target.id, None)
+            else:
+                # a tracked value stored into a container/attribute escapes
+                self._escape_expr(value, env)
+                self.eval_expr(target, env)
+        return env
+
+    def _store_escape(self, target: ast.expr, obj: AbstractObject, env: Env) -> None:
+        """``container[i] = obj`` / ``self.x = obj`` lose custody."""
+        env.escape(obj)
+        self.eval_expr(target, env)
+
+    def _exec_with(self, stmt: ast.With | ast.AsyncWith, env: Env) -> Env | None:
+        opened: list[AbstractObject] = []
+        for item in stmt.items:
+            created = self._creation(item.context_expr, env, item.context_expr)
+            if isinstance(created, AbstractObject):
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    env.vars[item.optional_vars.id] = created
+                opened.append(created)
+            elif created is not _HANDLED:
+                self.eval_expr(item.context_expr, env)
+        with_writers = [o for o in opened if o.kind == "writer"]
+        self._with_stack.extend(with_writers)
+        out = self.exec_block(stmt.body, env)
+        if with_writers:
+            del self._with_stack[-len(with_writers):]
+        if out is None:
+            return None
+        for obj in with_writers:
+            out.set_state(obj, frozenset({"closed"}))  # __exit__ closes
+        return out
+
+    def _exec_try(self, stmt: ast.Try, env: Env) -> Env | None:
+        pre = env.copy()
+        out_body = self.exec_block(stmt.body, env)
+        # a fault can interrupt the body anywhere: handlers start from the
+        # pessimistic join of "nothing ran" and "everything ran"
+        handler_base = _join(pre.copy(), out_body.copy() if out_body else None)
+        assert handler_base is not None
+        outs: list[Env | None] = []
+        if out_body is not None:
+            out_else = self.exec_block(stmt.orelse, out_body)
+            outs.append(out_else)
+        for handler in stmt.handlers:
+            outs.append(self.exec_block(handler.body, handler_base.copy()))
+        merged: Env | None = None
+        for out in outs:
+            merged = _join(merged, out)
+        if merged is None:
+            merged = handler_base
+        if stmt.finalbody:
+            return self.exec_block(stmt.finalbody, merged)
+        if all(out is None for out in outs):
+            return None
+        return merged
+
+    # -- expressions ---------------------------------------------------------
+
+    def _creation(
+        self, expr: ast.expr, env: Env, origin: ast.AST
+    ) -> "AbstractObject | object | None":
+        """Recognise tracked-object creation.
+
+        Returns the new :class:`AbstractObject`, the ``_HANDLED`` sentinel
+        for fully-processed reader constructions, or None for ordinary
+        calls the caller should evaluate itself.
+        """
+        if not isinstance(expr, ast.Call):
+            return None
+        chain = name_chain(expr.func)
+        if not chain:
+            return None
+        tail = chain[-1]
+        if tail in _WRITER_CTORS:
+            file_obj = self._arg_object(expr, 0, "file", env)
+            if file_obj is not None:
+                file_obj.writer_attached = True
+            obj = AbstractObject("writer", origin, self._describe(expr), file=file_obj)
+            self.objects.append(obj)
+            env.set_state(obj, frozenset({"open"}))
+            self._eval_args_skipping(expr, env, skip_first=True)
+            return obj
+        if tail in _FILE_CTORS or tail in _FILE_FACTORIES:
+            obj = AbstractObject("file", origin, self._describe(expr))
+            self.objects.append(obj)
+            env.set_state(obj, frozenset({"empty"}))
+            self._eval_args_skipping(expr, env, skip_first=False)
+            return obj
+        if tail in _READER_CTORS:
+            file_obj = self._arg_object(expr, 0, "file", env)
+            if file_obj is not None:
+                self._check_read(expr, file_obj, env)
+            self._eval_args_skipping(expr, env, skip_first=True)
+            return _HANDLED  # readers hold no reservation; nothing to track
+        return None
+
+    def _arg_object(
+        self, call: ast.Call, pos: int, kind: str, env: Env
+    ) -> AbstractObject | None:
+        if len(call.args) > pos and isinstance(call.args[pos], ast.Name):
+            obj = env.vars.get(call.args[pos].id)
+            if obj is not None and obj.kind == kind:
+                return obj
+        return None
+
+    def _eval_args_skipping(self, call: ast.Call, env: Env, skip_first: bool) -> None:
+        args = call.args[1:] if skip_first else call.args
+        for arg in args:
+            self._call_arg(arg, env)
+        for kw in call.keywords:
+            self._call_arg(kw.value, env)
+
+    def _call_arg(self, arg: ast.expr, env: Env) -> None:
+        """Tracked objects passed to an unknown callee escape."""
+        if isinstance(arg, ast.Name) and arg.id in env.vars:
+            env.escape(env.vars[arg.id])
+            return
+        self.eval_expr(arg, env)
+
+    def eval_expr(self, expr: ast.expr, env: Env) -> None:
+        """Generic expression walk: method checks + escapes, no creation."""
+        if isinstance(expr, ast.Call):
+            self._eval_call(expr, env)
+            return
+        if isinstance(expr, ast.Lambda):
+            self._escape_captured(expr, env)
+            return
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                             ast.DictComp)):
+            # comprehensions: iterate/capture — conservative escape of any
+            # tracked name referenced inside
+            self._escape_captured(expr, env)
+            return
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            if expr.value is not None:
+                self._eval_escaping(expr.value, env)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child, env)
+
+    def _eval_call(self, call: ast.Call, env: Env) -> None:
+        fn = call.func
+        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+            obj = env.vars.get(fn.value.id)
+            if obj is not None:
+                self._method_call(call, fn.attr, obj, env)
+                for arg in call.args:
+                    self._call_arg(arg, env)
+                for kw in call.keywords:
+                    self._call_arg(kw.value, env)
+                return
+        created = self._creation(call, env, call)
+        if created is not None:
+            return  # creation already registered / handled its own args
+        if isinstance(fn, ast.expr) and not isinstance(fn, ast.Name):
+            self.eval_expr(fn, env)
+        for arg in call.args:
+            self._call_arg(arg, env)
+        for kw in call.keywords:
+            self._call_arg(kw.value, env)
+
+    def _method_call(
+        self, call: ast.Call, method: str, obj: AbstractObject, env: Env
+    ) -> None:
+        if obj.kind == "writer":
+            states = env.state_of(obj)
+            if method == "close":
+                if states == frozenset({"closed"}) and not env.is_escaped(obj):
+                    self._emit(
+                        "double_close", call, obj,
+                        "close() on a definitely-closed writer (the second "
+                        "close is dead; the lifecycle is confused)",
+                    )
+                env.set_state(obj, frozenset({"closed"}))
+            elif method == "abandon":
+                env.set_state(obj, frozenset({"abandoned"}))
+            elif method in _WRITE_METHODS:
+                if (
+                    states
+                    and "open" not in states
+                    and states <= frozenset({"closed", "abandoned"})
+                    and not env.is_escaped(obj)
+                ):
+                    self._emit(
+                        "write_after_seal", call, obj,
+                        f"{method}() on a sealed writer raises ValueError "
+                        "at runtime",
+                    )
+                if obj.file is not None:
+                    env.set_state(obj.file, frozenset({"written"}))
+        elif obj.kind == "file":
+            if method in _FILE_READ_METHODS:
+                self._check_read(call, obj, env)
+            elif method == "append_block":
+                obj.writer_attached = True
+                env.set_state(obj, frozenset({"written"}))
+            elif method == "clear":
+                env.set_state(obj, frozenset({"empty"}))
+
+    def _check_read(self, node: ast.AST, obj: AbstractObject, env: Env) -> None:
+        if (
+            env.state_of(obj) == frozenset({"empty"})
+            and not obj.writer_attached
+            and not env.is_escaped(obj)
+        ):
+            self._emit(
+                "read_never_written", node, obj,
+                "reading a file that is definitely empty and never had a "
+                "writer attached",
+            )
+
+    # -- escapes -------------------------------------------------------------
+
+    def _eval_escaping(self, expr: ast.expr, env: Env) -> None:
+        """Evaluate ``expr`` whose *value* leaves the function's custody."""
+        created = self._creation(expr, env, expr)
+        if isinstance(created, AbstractObject):
+            env.escape(created)  # created straight into a return/yield
+            return
+        if created is _HANDLED:
+            return
+        self._escape_expr(expr, env)
+        self.eval_expr(expr, env)
+
+    def _escape_expr(self, expr: ast.expr, env: Env) -> None:
+        """Objects named directly in ``expr`` escape (return/yield/store).
+
+        Does **not** descend into calls: in ``return f.read_all()`` the
+        *result* escapes, not the receiver ``f`` — the generic evaluation
+        already escapes tracked call *arguments* via :meth:`_call_arg`.
+        """
+        if isinstance(expr, ast.Name) and expr.id in env.vars:
+            env.escape(env.vars[expr.id])
+            return
+        if isinstance(expr, ast.Call):
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._escape_expr(child, env)
+
+    def _escape_captured(self, node: ast.AST, env: Env) -> None:
+        """Any tracked name referenced by a nested function/lambda escapes."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in env.vars:
+                env.escape(env.vars[sub.id])
+
+    @staticmethod
+    def _describe(call: ast.Call) -> str:
+        chain = name_chain(call.func)
+        return ".".join(chain) if chain else "<handle>"

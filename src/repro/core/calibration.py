@@ -52,7 +52,7 @@ def _sequential_sort_time(
     data = make_benchmark(benchmark, n_items, seed=seed)
     f = node.disk.new_file(block_items, data.dtype, name=node.disk.next_file_name("cal"))
     with BlockWriter(f, node.mem) as w:
-        w.write(data)
+        w.write(data)  # repro: noqa REP105(input creation; excluded from the measurement by the reset below)
     node.reset()  # input creation is not part of the measurement
     t0 = node.clock.time
     polyphase_sort(

@@ -33,7 +33,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cluster.machine import Cluster
+from repro.cluster.node import SimNode
 from repro.core.external_psrs import distribute_array, merge_many
+from repro.core.incore import concat_in_memory, files_to_array, sort_in_memory
 from repro.core.perf import PerfVector
 from repro.extsort.multiway import RunRef
 from repro.pdm.blockfile import BlockFile, BlockWriter
@@ -89,8 +91,7 @@ class DeWittResult:
         return max(self.expansions)
 
     def to_array(self) -> np.ndarray:
-        parts = [f.to_array() for f in self.outputs]  # repro: noqa REP005(verification accessor; documented charge-free)
-        return np.concatenate(parts) if parts else np.empty(0)  # repro: noqa REP006(verification accessor; outside the simulated run)
+        return files_to_array(self.outputs)
 
 
 def _splitters_from_random_sample(
@@ -119,10 +120,8 @@ def _splitters_from_random_sample(
         take = min(want, pool.size)
         samples.append(pool[rng.integers(0, pool.size, size=take)])
     gathered = cluster.comm.gather(samples, root=config.root)
-    cand = np.sort(np.concatenate(gathered), kind="stable")  # repro: noqa REP002(pivot-candidate sample, tiny vs M; compute charged below)
-    cluster.nodes[config.root].compute(
-        cand.size * float(np.log2(max(2, cand.size)))
-    )
+    root_node = cluster.nodes[config.root]
+    cand = sort_in_memory(concat_in_memory(gathered, root_node), root_node)
     if cand.size == 0:
         raise ValueError("cannot pick splitters from an empty input")
     cum = np.cumsum(perf.values)[:-1] / perf.total
@@ -158,7 +157,7 @@ def sort_dewitt_distributed(
     # Per-destination outgoing buffer size: p buffers + one input block
     # must fit in memory on the sender, and a message must fit at the
     # receiver next to its write buffer.
-    def _msg_cap(node) -> int:
+    def _msg_cap(node: SimNode) -> int:
         cap = config.message_items
         if node.mem.capacity is not None:
             cap = min(cap, max(1, (node.mem.capacity - 2 * B) // max(1, p)))
@@ -174,8 +173,7 @@ def sort_dewitt_distributed(
         src, dst = cluster.nodes[src_rank], cluster.nodes[dst_rank]
         if src_rank != dst_rank:
             cluster.network.transfer(src, dst, chunk.nbytes, item_bytes=chunk.dtype.itemsize)
-        run = np.sort(chunk, kind="stable")  # repro: noqa REP002(one message-sized run; compute charged on the next line)
-        dst.compute(run.size * float(np.log2(max(2, run.size))))
+        run = sort_in_memory(chunk, dst)
         f = dst.disk.new_file(B, run.dtype, name=dst.disk.next_file_name("dwrun"))
         with dst.mem.reserve(run.size):
             with BlockWriter(f, dst.mem) as w:

@@ -48,7 +48,9 @@ from typing import Literal, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.cluster.machine import Cluster
+from repro.cluster.machine import Cluster, ClusterView
+from repro.cluster.node import SimNode
+from repro.core.incore import files_to_array
 from repro.core.partition import materialize_partitions, partition_offsets, partition_refs
 from repro.core.perf import PerfVector
 from repro.core.redistribute import RedistributionReport, message_items_for, redistribute
@@ -173,8 +175,7 @@ class PSRSResult:
 
     def to_array(self) -> np.ndarray:
         """Charge-free concatenation of the global sorted output."""
-        parts = [f.to_array() for f in self.outputs]  # repro: noqa REP005(verification accessor; documented charge-free)
-        return np.concatenate(parts) if parts else np.empty(0)  # repro: noqa REP006(verification accessor; outside the simulated run)
+        return files_to_array(self.outputs)
 
 
 def sort_distributed(
@@ -376,7 +377,13 @@ def _sort_impl(
     )
 
 
-def _pivot_step(view, perf: PerfVector, sorted_files, config: PSRSConfig, rng):
+def _pivot_step(
+    view: ClusterView,
+    perf: PerfVector,
+    sorted_files: Sequence[BlockFile],
+    config: PSRSConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
     """Step 2 on the (possibly degraded) node set; positional indexing."""
     p = view.p
     if p == 1:
@@ -410,7 +417,12 @@ def _pivot_step(view, perf: PerfVector, sorted_files, config: PSRSConfig, rng):
     return view.comm.bcast(pivots, root=root)[0]
 
 
-def _partition_step(view, sorted_files, pivots, config: PSRSConfig):
+def _partition_step(
+    view: ClusterView,
+    sorted_files: Sequence[BlockFile],
+    pivots: np.ndarray,
+    config: PSRSConfig,
+) -> list[list[RunRef]]:
     """Step 3: per-node binary partitioning of the sorted portions."""
     partitions: list[list[RunRef]] = []
     for node, sf in zip(view.nodes, sorted_files):
@@ -423,7 +435,12 @@ def _partition_step(view, sorted_files, pivots, config: PSRSConfig):
     return partitions
 
 
-def _merge_step(view, received, config: PSRSConfig, clear_inputs: bool):
+def _merge_step(
+    view: ClusterView,
+    received: Sequence[list[BlockFile]],
+    config: PSRSConfig,
+    clear_inputs: bool,
+) -> list[BlockFile]:
     """Step 5: every node merges its received runs."""
     outputs: list[BlockFile] = []
     for j, node in enumerate(view.nodes):
@@ -441,7 +458,7 @@ def _merge_step(view, received, config: PSRSConfig, clear_inputs: bool):
 
 def _salvage_step(
     cluster: Cluster,
-    view,
+    view: ClusterView,
     runner: StepRunner,
     dead_rank: int,
     buddy_rank: int,
@@ -505,7 +522,7 @@ def _salvage_step(
 
 def merge_many(
     refs: list[RunRef],
-    node,
+    node: SimNode,
     engine: str,
     name: str = "out",
     B: int | None = None,
@@ -561,7 +578,7 @@ def distribute_array(
             block_items, data.dtype, name=node.disk.next_file_name("input")
         )
         with BlockWriter(f, node.mem) as w:
-            w.write(data[start : start + l_i])
+            w.write(data[start : start + l_i])  # repro: noqa REP105(setup distribution; excluded from measurement, clocks reset below unless timed)
         start += l_i
         files.append(f)
     if not timed:

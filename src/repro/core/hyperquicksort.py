@@ -34,6 +34,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.cluster.machine import Cluster
+from repro.core.incore import (
+    concat_for_verification,
+    concat_in_memory,
+    merge_in_memory,
+    sort_in_memory,
+)
 from repro.core.perf import PerfVector
 
 
@@ -61,11 +67,7 @@ class HyperquicksortResult:
         return max(self.expansions)
 
     def to_array(self) -> np.ndarray:
-        return np.concatenate(self.outputs) if self.outputs else np.empty(0)
-
-
-def _sort_ops(n: int) -> float:
-    return n * float(np.log2(n)) if n > 1 else float(n)
+        return concat_for_verification(self.outputs)
 
 
 def split_group(group: list[int], perf: PerfVector) -> tuple[list[int], list[int], float]:
@@ -105,9 +107,7 @@ def sort_hyperquicksort(
     data: list[np.ndarray] = []
     with cluster.step("1:local-sort"):
         for node, arr in zip(cluster.nodes, portions):
-            s = np.sort(np.asarray(arr), kind="stable")
-            node.compute(_sort_ops(s.size))
-            data.append(s)
+            data.append(sort_in_memory(np.asarray(arr), node))
 
     levels = 0
     groups = [list(range(p))]
@@ -150,7 +150,7 @@ def _exchange_level(
     low_share: float,
     sample_per_node: int,
     rng: np.random.Generator,
-    dtype,
+    dtype: np.dtype,
 ) -> None:
     """One hyperquicksort level on one group: pivot, split, exchange, merge."""
     leader = group[0]
@@ -163,14 +163,17 @@ def _exchange_level(
         pick = arr[rng.integers(0, arr.size, size=k)] if k else arr[:0]
         cluster.nodes[i].compute(float(k))
         if i != leader and pick.size:
-            cluster.comm.send(i, leader, pick)
+            # The leader works on its *received* copy, not the sender's array.
+            pick = cluster.comm.send(i, leader, pick)
         samples.append(pick)
-    cand = np.sort(np.concatenate(samples))
+    root = cluster.nodes[leader]
+    cand = sort_in_memory(concat_in_memory(samples, root), root)
     if cand.size == 0:
         return  # group holds no data; nothing to exchange
-    cluster.nodes[leader].compute(_sort_ops(cand.size))
-    pivot = cand[min(cand.size - 1, int(low_share * cand.size))]
-    cluster.comm.bcast(np.asarray([pivot]), root=leader)
+    pivot_local = cand[min(cand.size - 1, int(low_share * cand.size))]
+    # Every member splits on its own received copy of the pivot; copies are
+    # identical, so the leader's suffices for the loop below.
+    pivot = cluster.comm.bcast(np.asarray([pivot_local]), root=leader)[leader][0]
 
     # Split every member's sorted holdings at the pivot.
     lows: dict[int, np.ndarray] = {}
@@ -192,7 +195,8 @@ def _exchange_level(
             return
         dst = min(half, key=lambda j: load[j])
         if dst != src:
-            cluster.comm.send(src, dst, part)
+            # The receiver merges its own copy of the part.
+            part = cluster.comm.send(src, dst, part)
         incoming[dst].append(part)
         load[dst] += part.size / perf[dst]
 
@@ -205,12 +209,7 @@ def _exchange_level(
         pieces = [kept[i]] + incoming[i]
         pieces = [q for q in pieces if q.size]
         if pieces:
-            merged = np.concatenate(pieces)
-            merged.sort(kind="stable")
-            cluster.nodes[i].compute(
-                merged.size * float(np.log2(max(2, len(pieces))))
-            )
-            data[i] = merged
+            data[i] = merge_in_memory(pieces, cluster.nodes[i])
         else:
             data[i] = np.empty(0, dtype=dtype)
 

@@ -16,6 +16,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.cluster.machine import Cluster
+from repro.core.incore import (
+    concat_for_verification,
+    concat_in_memory,
+    merge_in_memory,
+    sort_in_memory,
+)
 from repro.core.partition import partition_array
 from repro.core.perf import PerfVector
 from repro.core.sampling import (
@@ -51,12 +57,7 @@ class InCorePSRSResult:
         return max(self.expansions)
 
     def to_array(self) -> np.ndarray:
-        parts = [a for a in self.outputs]
-        return np.concatenate(parts) if parts else np.empty(0)
-
-
-def _sort_ops(n: int) -> float:
-    return n * float(np.log2(n)) if n > 1 else float(n)
+        return concat_for_verification(self.outputs)
 
 
 def sort_in_core(
@@ -78,9 +79,7 @@ def sort_in_core(
     local_sorted: list[np.ndarray] = []
     with cluster.step("1:local-sort"):
         for node, arr in zip(cluster.nodes, portions):
-            s = np.sort(np.asarray(arr), kind="stable")
-            node.compute(_sort_ops(s.size))
-            local_sorted.append(s)
+            local_sorted.append(sort_in_memory(np.asarray(arr), node))
 
     # Phase 2: sampling + pivots on the designated node.
     with cluster.step("2:pivots"):
@@ -98,7 +97,7 @@ def sort_in_core(
         if p > 1:
             gathered = cluster.comm.gather(samples, root=0)
             pivots = select_pivots(
-                np.concatenate(gathered),
+                concat_in_memory(gathered, cluster.nodes[0]),
                 perf,
                 compute=cluster.nodes[0].compute,
                 oversample=oversample,
@@ -127,9 +126,7 @@ def sort_in_core(
             pieces = [recv[j][i] for i in range(p) if recv[j][i] is not None]
             pieces = [q for q in pieces if q.size]
             if pieces:
-                merged = np.concatenate(pieces)
-                merged.sort(kind="stable")  # data plane; cost charged as a merge
-                node.compute(merged.size * float(np.log2(max(2, len(pieces)))))
+                merged = merge_in_memory(pieces, node)
             else:
                 merged = np.empty(0, dtype=local_sorted[j].dtype)
             outputs.append(merged)

@@ -24,6 +24,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.cluster.machine import Cluster
+from repro.core.incore import (
+    concat_for_verification,
+    concat_in_memory,
+    sort_in_memory,
+)
 from repro.core.perf import PerfVector
 
 
@@ -54,7 +59,7 @@ class OverpartitionResult:
 
     def to_array(self) -> np.ndarray:
         """Global sorted output: buckets in order, each sorted by its owner."""
-        return np.concatenate(self._bucket_arrays) if self._bucket_arrays else np.empty(0)
+        return concat_for_verification(self._bucket_arrays)
 
 
 def assign_buckets(
@@ -109,8 +114,8 @@ def sort_overpartitioned(
             else:
                 samples.append(arr[:0])
         gathered = cluster.comm.gather(samples, root=0)
-        cand = np.sort(np.concatenate(gathered), kind="stable")
-        cluster.nodes[0].compute(cand.size * float(np.log2(max(2, cand.size))))
+        root = cluster.nodes[0]
+        cand = sort_in_memory(concat_in_memory(gathered, root), root)
         if cand.size == 0:
             raise ValueError("cannot overpartition an empty input")
         ranks = (np.arange(1, n_buckets) * cand.size) // n_buckets
@@ -150,8 +155,8 @@ def sort_overpartitioned(
                 ]
                 pieces = [q for q in pieces if q.size]
                 if pieces:
-                    matrix[i][j] = np.concatenate(pieces)
-        recv = cluster.comm.alltoallv(matrix)
+                    matrix[i][j] = concat_in_memory(pieces, cluster.nodes[i])
+        recv = cluster.comm.alltoallv(matrix)  # repro: noqa REP104(charge-only exchange; phase 5 reassembles identical content locally - see data-plane note below)
 
     # Phase 5: each node sorts its buckets (bucket-local sorts).
     # Data plane note: recv[j][i] holds exactly the concatenation of node
@@ -169,22 +174,19 @@ def sort_overpartitioned(
                 pieces = [
                     local_buckets[i][b] for i in range(p) if local_buckets[i][b].size
                 ]
-                data = (
-                    np.concatenate(pieces)
-                    if pieces
-                    else np.empty(0, dtype=np.asarray(portions[0]).dtype)
-                )
-                data = np.sort(data, kind="stable")
-                if data.size > 1:
-                    node.compute(data.size * float(np.log2(data.size)))
+                if pieces:
+                    data = sort_in_memory(concat_in_memory(pieces, node), node)
+                else:
+                    data = np.empty(0, dtype=np.asarray(portions[0]).dtype)
                 bucket_arrays[b] = data
                 received_sizes[j] += data.size
 
     elapsed = cluster.barrier()
     outputs = [
-        np.concatenate(
+        concat_in_memory(
             [bucket_arrays[b] for b in range(n_buckets) if owner[b] == j]
-            or [np.empty(0, dtype=np.asarray(portions[0]).dtype)]
+            or [np.empty(0, dtype=np.asarray(portions[0]).dtype)],
+            cluster.nodes[j],
         )
         for j in range(p)
     ]

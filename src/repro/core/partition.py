@@ -25,7 +25,7 @@ from repro.pdm.memory import MemoryManager
 
 
 def lower_bound_offset(
-    sorted_file: BlockFile, pivot, mem: MemoryManager
+    sorted_file: BlockFile, pivot: "int | np.generic", mem: MemoryManager
 ) -> int:
     """Item offset of the first element ``> pivot`` (upper-bound cut).
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from functools import reduce
-from typing import Sequence
+from typing import Iterator, Sequence
 
 
 class PerfVector:
@@ -67,7 +67,7 @@ class PerfVector:
     def __len__(self) -> int:
         return self.p
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.values)
 
     def __eq__(self, other: object) -> bool:
@@ -149,7 +149,7 @@ class PerfVector:
         shares = [n * v / self.total for v in self.values]
         base = [int(s) for s in shares]
         rem = n - sum(base)
-        order = sorted(  # repro: noqa REP002(O(p) ordering of per-node shares, metadata)
+        order = sorted(
             range(self.p), key=lambda i: (shares[i] - base[i], self.values[i]), reverse=True
         )
         for i in order[:rem]:

@@ -49,12 +49,13 @@ def boundary_targets(perf: PerfVector, n: int) -> list[int]:
 
 
 def global_count_leq(
-    cluster: Cluster, files: Sequence[BlockFile], value
+    cluster: Cluster, files: Sequence[BlockFile], value: "int | np.generic"
 ) -> int:
     """Cluster-wide ``|{x <= value}|`` (charges every node's disk)."""
     total = 0
-    for node, f in zip(cluster.nodes, files):
-        total += lower_bound_offset(f, value, node.mem)
+    with cluster.step("count-leq"):
+        for node, f in zip(cluster.nodes, files):
+            total += lower_bound_offset(f, value, node.mem)
     return total
 
 
@@ -114,13 +115,15 @@ def exact_quantile_pivots(
             break
         mids = {j: (lo[j] + hi[j]) // 2 for j in unresolved}
         # Root broadcasts probes; every node answers with local counts.
-        probe_arr = np.asarray(sorted(set(mids.values())), dtype=np.int64)  # repro: noqa REP002(O(p) probe keys per bisection round, metadata)
-        cluster.comm.bcast(probe_arr, root=root)
+        probe_arr = np.asarray(sorted(set(mids.values())), dtype=np.int64)
+        probes_by_rank = cluster.comm.bcast(probe_arr, root=root)
         counts = {int(v): 0 for v in probe_arr}
         local = []
         for node, f in zip(cluster.nodes, sorted_files):
+            # Each node answers from its own received copy of the probes.
+            probes = probes_by_rank[node.rank]
             row = np.asarray(
-                [lower_bound_offset(f, dtype.type(v), node.mem) for v in probe_arr],
+                [lower_bound_offset(f, dtype.type(v), node.mem) for v in probes],
                 dtype=np.int64,
             )
             local.append(row)

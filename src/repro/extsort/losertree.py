@@ -133,7 +133,7 @@ def merge_iterables(sources: Sequence, key: Optional[Callable] = None) -> list:
     """
     iters = [iter(s) for s in sources]
 
-    def pull(i: int):
+    def pull(i: int) -> object:
         try:
             return next(iters[i])
         except StopIteration:

@@ -103,14 +103,14 @@ class RunCursor:
         self._pos = block_index * B + hi
         self.mem.acquire(self._buf.size)
 
-    def buffer_max(self):
+    def buffer_max(self) -> np.generic:
         """Largest key currently buffered (fills the buffer if needed)."""
         self._fill()
         if self._buf is None:
             raise RuntimeError("cursor exhausted")
         return self._buf[-1]
 
-    def take_leq(self, t) -> np.ndarray:
+    def take_leq(self, t: "int | np.generic") -> np.ndarray:
         """Pop every buffered item ``<= t`` (possibly none)."""
         self._fill()
         if self._buf is None:
@@ -125,7 +125,7 @@ class RunCursor:
             self._buf = None
         return out
 
-    def take_one(self):
+    def take_one(self) -> np.generic:
         """Pop a single item (item-at-a-time engine)."""
         self._fill()
         if self._buf is None:
@@ -152,7 +152,7 @@ class RunCursor:
             self._buf = None
         return out
 
-    def peek(self):
+    def peek(self) -> "np.generic | None":
         """Current head item without consuming, or None if exhausted."""
         self._fill()
         if self._buf is None:

@@ -27,6 +27,7 @@ from typing import Callable, Iterator, Literal, Optional
 import numpy as np
 
 from repro.pdm.blockfile import BlockFile, BlockWriter
+from repro.pdm.disk import SimDisk
 from repro.pdm.memory import MemoryManager
 
 RunPolicy = Literal["load", "replacement"]
@@ -59,7 +60,9 @@ class RunSink:
 class CollectingSink(RunSink):
     """Writes each run to its own fresh :class:`BlockFile` on one disk."""
 
-    def __init__(self, disk, B: int, dtype, mem: MemoryManager) -> None:
+    def __init__(
+        self, disk: SimDisk, B: int, dtype: "np.dtype | type", mem: MemoryManager
+    ) -> None:
         self.disk = disk
         self.B = B
         self.dtype = dtype
@@ -253,7 +256,7 @@ class _SinkItemWriter:
         self.sink = sink
         self._buf: list[int] = []
 
-    def write_one(self, item) -> None:
+    def write_one(self, item: int) -> None:
         self._buf.append(item)
         if len(self._buf) >= self._CHUNK:
             self.flush()

@@ -142,7 +142,7 @@ class IOStats:
             f"busy={self.busy_time:.4f}s",
         ]
         if self.labels:
-            pairs = sorted(self.labels.items())  # repro: noqa REP002(O(steps) label-name sort, display only)
+            pairs = sorted(self.labels.items())
             inner = ", ".join(f"{k}: {v}" for k, v in pairs)
             parts.append("labels{" + inner + "}")
         return "IOStats(" + ", ".join(parts) + ")"
