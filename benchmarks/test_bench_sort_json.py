@@ -1,10 +1,12 @@
 """Machine-readable headline benchmark: ``repro sort --format json``.
 
 Runs the Table-3 headline configuration ({1,1,4,4}, Fast-Ethernet,
-scaled N) through the real CLI and persists the JSON summary as
-``BENCH_sort.json`` at the repository root — a stable artifact other
-tooling (dashboards, regression bots) can diff between commits without
-parsing human-oriented tables.
+scaled N) through the real CLI and folds the JSON summary into
+``BENCH_sort.json`` at the repository root — a keyed run list (one
+entry per ``n_items x perf`` configuration, see
+:mod:`repro.metrics.bench`) that other tooling can diff between commits
+without parsing human-oriented tables, and that re-runs update instead
+of clobbering.
 """
 
 import io
@@ -15,6 +17,7 @@ from contextlib import redirect_stdout
 from helpers import BLOCK_ITEMS, MEMORY_ITEMS, MESSAGE_ITEMS, N_TABLE3, once
 
 from repro.cli import main
+from repro.metrics.bench import SCHEMA, append_run, get_run, run_key, validate_bench
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -45,6 +48,9 @@ def test_bench_sort_json(benchmark):
     assert summary["audit"]["ok"] is True
     assert summary["s_max"] < 1.5
     path = os.path.join(REPO_ROOT, "BENCH_sort.json")
-    with open(path, "w") as fh:
-        json.dump(summary, fh, indent=2)
-        fh.write("\n")
+    doc = append_run(path, summary)
+    # the artifact stays a valid keyed run list with this run folded in
+    assert doc["schema"] == SCHEMA
+    validate_bench(doc, path=path)
+    entry = get_run(doc, run_key(summary))
+    assert entry is not None and entry["verified"] is True

@@ -83,17 +83,34 @@ class SanitizerStats:
     by_check: dict[str, int] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class SanitizerTrip:
+    """One recorded invariant violation (kept even after the raise).
+
+    Consumers that swallow or translate the :class:`SanitizerError`
+    (the scenario fuzzer classifying a run, a retry layer unwinding a
+    step) can still read the machine-readable trip record off
+    :attr:`RuntimeSanitizer.trips` afterwards.
+    """
+
+    check: str
+    message: str
+
+
 class RuntimeSanitizer:
     """One installed set of dynamic invariant checks."""
 
     def __init__(self, config: Optional[SanitizerConfig] = None) -> None:
         self.config = config if config is not None else SanitizerConfig()
         self.stats = SanitizerStats()
+        #: Every violation this sanitizer raised, in firing order.
+        self.trips: list[SanitizerTrip] = []
         self._managers: list[weakref.ref["MemoryManager"]] = []
 
     def _violation(self, check: str, message: str) -> None:
         self.stats.violations += 1
         self.stats.by_check[check] = self.stats.by_check.get(check, 0) + 1
+        self.trips.append(SanitizerTrip(check, message))
         raise SanitizerError(check, message)
 
     # -- SimDisk ----------------------------------------------------------

@@ -10,6 +10,7 @@ sweep       the §5 message-size sweep
 workloads   list the 8 input benchmarks
 lint        simulation-invariant static analysis (REP001..REP008)
 audit       replay a saved telemetry JSONL log through the bounds auditor
+fuzz        coverage-guided scenario fuzzing with the auditor as oracle
 """
 
 from __future__ import annotations
@@ -139,6 +140,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("events_file", help="JSONL log from 'repro sort --events'")
     p_audit.add_argument(
         "--format", choices=["text", "json"], default="text", help="report format"
+    )
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzing with the auditor as oracle",
+        description="Mutates sort scenarios (workload, perf vector, PDM "
+        "config, fault plan) from a novelty-scored corpus; every run is "
+        "checked by the sanitizers, output verification and the paper-bounds "
+        "auditor, and each distinct violation is shrunk to a minimal "
+        "replayable JSONL case.  Exit 0 clean, 1 violations found.",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="fuzz RNG seed")
+    p_fuzz.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N mutated runs (deterministic mode; default 100 "
+        "when no --time-budget is given)",
+    )
+    p_fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this much wall-clock time",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="load/save the corpus and write shrunk violation cases here",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run one JSONL case file and check it still reproduces "
+        "(exit 0 on match, 1 on mismatch)",
+    )
+    p_fuzz.add_argument(
+        "--tighten-slack",
+        type=float,
+        default=None,
+        metavar="X",
+        help="audit with polyphase slack X instead of the calibrated "
+        "default (1.0 = the ideal merge formula; used to plant violations)",
+    )
+    p_fuzz.add_argument(
+        "--max-corpus", type=int, default=64, help="corpus size cap"
+    )
+    p_fuzz.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json: the full machine-readable report)",
     )
 
     from repro.analysis.cli import add_lint_arguments
@@ -392,6 +449,66 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz import FuzzConfig, fuzz, replay_case
+
+    if args.replay is not None:
+        result = replay_case(args.replay)
+        if args.format == "json":
+            print(
+                json.dumps(
+                    {
+                        "command": "fuzz-replay",
+                        "case": args.replay,
+                        "scenario": result.case.scenario.to_dict(),
+                        "expected": result.case.expect_status,
+                        "status": result.outcome.status,
+                        "matched": result.matched,
+                        "reason": result.reason,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            verdict = "reproduced" if result.matched else "MISMATCH"
+            print(f"{verdict}: {result.reason}")
+            if result.case.note:
+                print(f"note: {result.case.note}")
+        return 0 if result.matched else 1
+
+    config = FuzzConfig(
+        seed=args.seed,
+        max_runs=(
+            args.max_runs
+            if args.max_runs is not None
+            else (None if args.time_budget is not None else 100)
+        ),
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        max_corpus=args.max_corpus,
+        tighten_slack=args.tighten_slack,
+    )
+    log = (lambda msg: print(msg, file=sys.stderr)) if args.format == "text" else None
+    report = fuzz(config, log=log)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        statuses = ", ".join(f"{k}={v}" for k, v in sorted(report.statuses.items()))
+        print(
+            f"fuzz: {report.runs} runs ({statuses}); corpus "
+            f"{len(report.corpus_fingerprints)} scenarios, "
+            f"{report.coverage_lines} lines, {report.signatures} signatures"
+        )
+        for case in report.violations:
+            print(f"violation [{case.violation.kind}] {case.violation.detail}")
+            print(f"  minimal: {case.shrunk.to_json()}")
+            if case.path:
+                print(f"  case file: {case.path}")
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.cli import run_lint
 
@@ -415,6 +532,7 @@ _COMMANDS = {
     "workloads": cmd_workloads,
     "lint": cmd_lint,
     "audit": cmd_audit,
+    "fuzz": cmd_fuzz,
 }
 
 

@@ -119,9 +119,12 @@ def exact_quantile_pivots(
         probes_by_rank = cluster.comm.bcast(probe_arr, root=root)
         counts = {int(v): 0 for v in probe_arr}
         local = []
-        for node, f in zip(cluster.nodes, sorted_files):
+        for pos, (node, f) in enumerate(zip(cluster.nodes, sorted_files)):
             # Each node answers from its own received copy of the probes.
-            probes = probes_by_rank[node.rank]
+            # Collectives index by *position* in the (possibly degraded)
+            # view, not by global rank — a survivor view of ranks [0, 2]
+            # returns a 2-element list.
+            probes = probes_by_rank[pos]
             row = np.asarray(
                 [lower_bound_offset(f, dtype.type(v), node.mem) for v in probes],
                 dtype=np.int64,

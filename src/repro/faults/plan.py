@@ -252,6 +252,14 @@ class FaultPlan:
         with open(path, "r", encoding="utf-8") as fh:
             return FaultPlan.from_json(fh.read())
 
+    def save(self, path: str) -> None:
+        """Inverse of :meth:`load`: ``FaultPlan.load(p)`` after ``plan.save(p)``
+        returns an equal plan (the fuzzer's shrunk-case files rely on the
+        round trip)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
 
 # ---------------------------------------------------------------------------
 # Retry policy and counters

@@ -1,0 +1,130 @@
+"""The size-capped priority corpus the fuzz loop mutates from.
+
+An outcome earns a seat by *novelty* — lines of ``src/repro`` or
+event-signature triples no earlier entry executed — weighted so a new
+behavioural triple (25 points) outranks a handful of new lines (1 point
+each), plus a bound-pressure bonus (50 x the auditor's worst
+measured/bound ratio) that keeps scenarios flirting with the paper
+bounds in rotation even when they stop finding new code.
+
+When the corpus is full the lowest-scoring entry is evicted, but the
+*seen* line/signature sets are cumulative for the whole run: an evicted
+behaviour can't re-enter by looking novel again, so the loop converges
+instead of cycling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fuzz.executor import RunOutcome
+from repro.fuzz.scenario import Scenario
+
+#: Score weights: one newly-covered line, one new signature triple, one
+#: unit of audit bound pressure (measured/bound ratio).
+LINE_WEIGHT = 1.0
+SIGNATURE_WEIGHT = 25.0
+RATIO_WEIGHT = 50.0
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One kept scenario with the evidence that earned its seat."""
+
+    scenario: Scenario
+    score: float
+    new_lines: int
+    new_signatures: int
+    worst_ratio: float
+    #: Admission ordinal (ties in score break toward older entries).
+    ordinal: int
+
+    @property
+    def fingerprint(self) -> str:
+        return self.scenario.fingerprint()
+
+
+class Corpus:
+    """Priority corpus with cumulative novelty accounting."""
+
+    def __init__(self, max_size: int = 64) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+        self.entries: list[CorpusEntry] = []
+        self.seen_lines: set = set()
+        self.seen_signatures: set = set()
+        self._fingerprints: set[str] = set()
+        self._next_ordinal = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def score(self, outcome: RunOutcome) -> tuple[float, int, int]:
+        """(score, new_lines, new_signatures) of an outcome right now."""
+        new_lines = len(outcome.coverage - self.seen_lines)
+        new_sigs = len(outcome.signature - self.seen_signatures)
+        score = (
+            LINE_WEIGHT * new_lines
+            + SIGNATURE_WEIGHT * new_sigs
+            + RATIO_WEIGHT * outcome.worst_ratio
+        )
+        return score, new_lines, new_sigs
+
+    def consider(self, outcome: RunOutcome) -> Optional[CorpusEntry]:
+        """Admit the outcome if it earns a seat; returns the entry or None.
+
+        Novelty is always banked (seen sets grow on every call), even
+        for outcomes that don't make the cut — "seen but rejected" must
+        not look novel forever.
+        """
+        score, new_lines, new_sigs = self.score(outcome)
+        self.seen_lines |= outcome.coverage
+        self.seen_signatures |= outcome.signature
+
+        fp = outcome.scenario.fingerprint()
+        if fp in self._fingerprints:
+            return None
+        novel = new_lines > 0 or new_sigs > 0
+        if not novel and len(self.entries) >= self.max_size:
+            worst = min(self.entries, key=lambda e: (e.score, -e.ordinal))
+            if score <= worst.score:
+                return None
+
+        entry = CorpusEntry(
+            scenario=outcome.scenario,
+            score=score,
+            new_lines=new_lines,
+            new_signatures=new_sigs,
+            worst_ratio=outcome.worst_ratio,
+            ordinal=self._next_ordinal,
+        )
+        self._next_ordinal += 1
+        self.entries.append(entry)
+        self._fingerprints.add(fp)
+        if len(self.entries) > self.max_size:
+            evicted = min(self.entries, key=lambda e: (e.score, -e.ordinal))
+            self.entries.remove(evicted)
+            self._fingerprints.discard(evicted.fingerprint)
+        return entry
+
+    def ranked(self) -> list[CorpusEntry]:
+        """Entries best-first (score desc, then older-first)."""
+        return sorted(self.entries, key=lambda e: (-e.score, e.ordinal))
+
+    def pick(self, rng: np.random.Generator) -> Optional[CorpusEntry]:
+        """Rank-weighted draw: the best entry is drawn most, none starve."""
+        ranked = self.ranked()
+        if not ranked:
+            return None
+        # harmonic weights 1/(rank+2): 1/2, 1/3, 1/4, ... best-first
+        weights = np.array([1.0 / (i + 2) for i in range(len(ranked))])
+        weights /= weights.sum()
+        return ranked[int(rng.choice(len(ranked), p=weights))]
+
+    def fingerprints(self) -> list[str]:
+        """Sorted fingerprints of the kept entries (determinism probe)."""
+        return sorted(e.fingerprint for e in self.entries)

@@ -1,0 +1,134 @@
+"""Deterministic line coverage of ``src/repro`` for novelty scoring.
+
+The fuzzer's first feedback signal is the set of ``(module, line)``
+pairs a run executes inside the ``repro`` package — the same signal
+coverage.py and hypofuzz's ``cov.py`` build their corpora on.  Two
+collector backends:
+
+* **sys.monitoring** (PEP 669, Python >= 3.12) — per-location ``LINE``
+  events that self-disable after the first hit, so steady-state
+  overhead is near zero;
+* **sys.settrace** fallback — a call-filtered local tracer (frames
+  outside the package are never line-traced).
+
+Both produce identical line sets for the same run, so corpora built on
+different interpreter versions agree.  Collection is single-threaded by
+design (the simulator is single-threaded).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from types import CodeType, FrameType
+from typing import Any, Callable, Optional
+
+#: Absolute directory of the ``repro`` package (what "covered" means).
+PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_TOOL_NAME = "repro-fuzz"
+
+
+class LineCoverage:
+    """Context manager collecting executed ``(relpath, lineno)`` pairs.
+
+    ``root`` defaults to the installed ``repro`` package directory;
+    paths in :attr:`lines` are stored relative to it (``obs/audit.py``),
+    so fingerprints don't depend on where the tree is checked out.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = os.path.abspath(root) if root is not None else PACKAGE_ROOT
+        self._prefix = self.root + os.sep
+        self.lines: set[tuple[str, int]] = set()
+        self._rel_cache: dict[str, Optional[str]] = {}
+        self._tool_id: Optional[int] = None
+        self._prev_trace: Optional[Callable[..., Any]] = None
+        self._active = False
+
+    # -- shared ------------------------------------------------------------
+
+    def _rel(self, filename: str) -> Optional[str]:
+        rel = self._rel_cache.get(filename, "")
+        if rel == "":
+            rel = (
+                filename[len(self._prefix):]
+                if filename.startswith(self._prefix)
+                else None
+            )
+            self._rel_cache[filename] = rel
+        return rel
+
+    def __enter__(self) -> "LineCoverage":
+        if self._active:
+            raise RuntimeError("LineCoverage is not reentrant")
+        self._active = True
+        if not self._try_monitoring():
+            self._prev_trace = sys.gettrace()
+            sys.settrace(self._trace_call)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._tool_id is not None:
+            mon = sys.monitoring
+            mon.set_events(self._tool_id, 0)
+            mon.register_callback(self._tool_id, mon.events.LINE, None)
+            mon.free_tool_id(self._tool_id)
+            self._tool_id = None
+        else:
+            sys.settrace(self._prev_trace)
+            self._prev_trace = None
+        self._active = False
+
+    # -- sys.monitoring backend (3.12+) ------------------------------------
+
+    def _try_monitoring(self) -> bool:
+        mon = getattr(sys, "monitoring", None)
+        if mon is None:
+            return False
+        tool_id = None
+        for tid in range(6):
+            if mon.get_tool(tid) is None:
+                tool_id = tid
+                break
+        if tool_id is None:  # pragma: no cover - all tool slots taken
+            return False
+        mon.use_tool_id(tool_id, _TOOL_NAME)
+        self._tool_id = tool_id
+
+        disable = mon.DISABLE
+
+        def on_line(code: CodeType, lineno: int) -> object:
+            rel = self._rel(code.co_filename)
+            if rel is not None:
+                self.lines.add((rel, lineno))
+            # Each (code, line) location only needs to report once per
+            # collection window; restart_events() below re-arms them.
+            return disable
+
+        mon.register_callback(tool_id, mon.events.LINE, on_line)
+        mon.set_events(tool_id, mon.events.LINE)
+        # Re-arm locations DISABLEd by a previous collection in this process.
+        mon.restart_events()
+        return True
+
+    # -- sys.settrace backend ----------------------------------------------
+
+    def _trace_call(
+        self, frame: FrameType, event: str, arg: object
+    ) -> Optional[Callable[..., Any]]:
+        if event != "call":
+            return None
+        rel = self._rel(frame.f_code.co_filename)
+        if rel is None:
+            return None  # never line-trace frames outside the package
+        return self._trace_line
+
+    def _trace_line(
+        self, frame: FrameType, event: str, arg: object
+    ) -> Optional[Callable[..., Any]]:
+        if event == "line":
+            rel = self._rel(frame.f_code.co_filename)
+            if rel is not None:
+                self.lines.add((rel, frame.f_lineno))
+        return self._trace_line

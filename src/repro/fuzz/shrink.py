@@ -1,0 +1,251 @@
+"""Axis-by-axis minimisation of a violating scenario.
+
+Given a scenario and a predicate "does this still violate the same
+way?", the shrinker greedily simplifies one axis at a time — reset each
+config axis to its dataclass default, binary-search ``n_items`` down,
+drop perf-vector entries and flatten the survivors to 1, strip the
+fault plan fault by fault — and repeats the whole pass until no axis
+can shrink further (a fixpoint, like hypothesis' shrink loop but over a
+fixed axis order, so the result is deterministic for a deterministic
+predicate).
+
+The predicate is only ever called on scenarios that pass
+:meth:`Scenario.validate`; candidates outside the envelope are skipped,
+and a predicate that *raises* counts as "does not reproduce" (a shrink
+must never escalate into a different failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.fuzz.scenario import DEFAULTS, MIN_N, Scenario, ScenarioError
+
+Predicate = Callable[[Scenario], bool]
+
+#: Config axes reset toward their :data:`DEFAULTS` value, in shrink order.
+_DEFAULT_AXES = (
+    "benchmark",
+    "dtype",
+    "pivot_method",
+    "oversample",
+    "message_items",
+    "block_items",
+    "memory_items",
+    "retries",
+    "seed",
+)
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimal scenario plus the trail of accepted simplifications."""
+
+    scenario: Scenario
+    #: ``(axis, before, after)`` for every accepted shrink step.
+    steps: tuple[tuple[str, str, str], ...]
+    #: Total predicate evaluations spent.
+    attempts: int
+
+
+class _Budget:
+    """Caps predicate calls; swallows predicate exceptions as False."""
+
+    def __init__(self, predicate: Predicate, max_attempts: int) -> None:
+        self.predicate = predicate
+        self.max_attempts = max_attempts
+        self.attempts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempts >= self.max_attempts
+
+    def holds(self, candidate: Scenario) -> bool:
+        if self.exhausted:
+            return False
+        try:
+            candidate.validate()
+        except ScenarioError:
+            return False
+        self.attempts += 1
+        try:
+            return bool(self.predicate(candidate))
+        except Exception:  # repro: noqa REP007(a raising shrink candidate is a non-reproduction, never a swallowed fault)
+            return False
+
+
+def _shrink_n(s: Scenario, budget: _Budget) -> Scenario:
+    """Binary-search the smallest still-violating ``n_items``."""
+    if s.n_items <= MIN_N:
+        return s
+    lo, hi = MIN_N, s.n_items
+    while lo < hi and not budget.exhausted:
+        mid = (lo + hi) // 2
+        if budget.holds(s.with_(n_items=mid)):
+            hi = mid
+        else:
+            lo = mid + 1
+    # invariant: the predicate held at `hi` (the original value, or the
+    # last accepted midpoint), so no re-test is needed
+    return s.with_(n_items=hi)
+
+
+def _drop_node(s: Scenario, i: int) -> Optional[Scenario]:
+    """``s`` without node ``i``, renumbering fault-plan targets above it.
+
+    Returns None when a fault targets node ``i`` itself (dropping the
+    node would silently drop the fault — a different scenario, not a
+    smaller one).
+    """
+    plan = s.fault_plan
+    if plan is not None:
+        if any(f.node == i for f in plan.disk_faults) or any(
+            k.node == i for k in plan.node_kills
+        ) or any(i in (m.src, m.dst) for m in plan.message_faults):
+            return None
+
+        def renum(node: Optional[int]) -> Optional[int]:
+            if node is None:
+                return None
+            return node - 1 if node > i else node
+
+        plan = FaultPlan(
+            disk_faults=tuple(
+                replace(f, node=renum(f.node)) for f in plan.disk_faults
+            ),
+            message_faults=tuple(
+                replace(m, src=renum(m.src), dst=renum(m.dst))
+                for m in plan.message_faults
+            ),
+            node_kills=tuple(
+                replace(k, node=renum(k.node)) for k in plan.node_kills
+            ),
+            seed=plan.seed,
+        )
+    return s.with_(perf=s.perf[:i] + s.perf[i + 1:], fault_plan=plan)
+
+
+def _shrink_perf(s: Scenario, budget: _Budget) -> Scenario:
+    # drop one node at a time (restarting after each success)
+    changed = True
+    while changed and s.p > 1 and not budget.exhausted:
+        changed = False
+        for i in range(s.p):
+            cand = _drop_node(s, i)
+            if cand is not None and budget.holds(cand):
+                s = cand
+                changed = True
+                break
+    # then flatten surviving entries toward 1
+    for i in range(s.p):
+        if s.perf[i] != 1:
+            cand = s.with_(perf=s.perf[:i] + (1,) + s.perf[i + 1:])
+            if budget.holds(cand):
+                s = cand
+    return s
+
+
+def _shrink_faults(s: Scenario, budget: _Budget) -> Scenario:
+    plan = s.fault_plan
+    if plan is None:
+        return s
+    if budget.holds(s.with_(fault_plan=None)):
+        return s.with_(fault_plan=None)
+    # drop individual faults, most disruptive first (kills, disk, msgs)
+    for attr in ("node_kills", "disk_faults", "message_faults"):
+        i = 0
+        while i < len(getattr(s.fault_plan, attr)) and not budget.exhausted:
+            faults = getattr(s.fault_plan, attr)
+            cand_plan = FaultPlan(
+                **{
+                    "disk_faults": s.fault_plan.disk_faults,
+                    "message_faults": s.fault_plan.message_faults,
+                    "node_kills": s.fault_plan.node_kills,
+                    attr: faults[:i] + faults[i + 1:],
+                    "seed": s.fault_plan.seed,
+                }
+            )
+            cand = s.with_(fault_plan=cand_plan)
+            if budget.holds(cand):
+                s = cand
+            else:
+                i += 1
+    # simplify surviving disk faults' trigger points toward 0
+    while s.fault_plan is not None:
+        for idx, f in enumerate(s.fault_plan.disk_faults):
+            if f.after_ios != 0:
+                faults = list(s.fault_plan.disk_faults)
+                faults[idx] = replace(f, after_ios=0)
+                cand = s.with_(
+                    fault_plan=replace(s.fault_plan, disk_faults=tuple(faults))
+                )
+                if budget.holds(cand):
+                    s = cand
+                    break
+        else:
+            break
+    return s
+
+
+def _axis_repr(value: object) -> str:
+    return repr(value)
+
+
+def shrink(
+    scenario: Scenario,
+    predicate: Predicate,
+    *,
+    max_attempts: int = 300,
+) -> ShrinkResult:
+    """Minimise ``scenario`` while ``predicate`` keeps holding.
+
+    ``predicate(scenario)`` must be True on entry; raises ``ValueError``
+    otherwise (a shrink of a non-reproducing case is meaningless).
+    """
+    budget = _Budget(predicate, max_attempts)
+    if not budget.holds(scenario.validate()):
+        raise ValueError(
+            "predicate does not hold on the initial scenario; nothing to shrink"
+        )
+
+    steps: list[tuple[str, str, str]] = []
+
+    def note(axis: str, before: object, after: object) -> None:
+        if before != after:
+            steps.append((axis, _axis_repr(before), _axis_repr(after)))
+
+    changed = True
+    while changed and not budget.exhausted:
+        changed = False
+
+        cand = _shrink_faults(scenario, budget)
+        note("fault_plan", scenario.fault_plan, cand.fault_plan)
+        changed |= cand != scenario
+        scenario = cand
+
+        cand = _shrink_perf(scenario, budget)
+        note("perf", scenario.perf, cand.perf)
+        changed |= cand != scenario
+        scenario = cand
+
+        cand = _shrink_n(scenario, budget)
+        note("n_items", scenario.n_items, cand.n_items)
+        changed |= cand != scenario
+        scenario = cand
+
+        for axis in _DEFAULT_AXES:
+            default = getattr(DEFAULTS, axis)
+            current = getattr(scenario, axis)
+            if current == default:
+                continue
+            cand = scenario.with_(**{axis: default})
+            if budget.holds(cand):
+                note(axis, current, default)
+                scenario = cand
+                changed = True
+
+    return ShrinkResult(
+        scenario=scenario, steps=tuple(steps), attempts=budget.attempts
+    )

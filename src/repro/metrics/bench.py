@@ -1,0 +1,122 @@
+"""Append-writer for the machine-readable benchmark artifacts.
+
+``BENCH_sort.json`` used to be overwritten with whichever single summary
+ran last, so dashboards diffing the file between commits silently lost
+every other configuration.  Version 2 makes the artifact a *keyed run
+list*: one document with a schema tag and one entry per
+``<n_items>x<perf-vector>`` configuration.  Re-running a configuration
+updates its entry in place; new configurations append.  Legacy v1 files
+(a bare CLI summary object) are migrated on first touch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping, Optional
+
+#: Schema tag of the keyed-run-list document format.
+SCHEMA = "repro-bench-sort/2"
+
+
+class BenchFormatError(ValueError):
+    """A benchmark artifact is structurally invalid."""
+
+
+def run_key(summary: Mapping[str, object]) -> str:
+    """Stable identity of one benchmark configuration.
+
+    ``"131080x1-1-4-4"``: input size times the perf vector — the two
+    axes the Table-2/3 experiments sweep.
+    """
+    try:
+        n = int(summary["n_items"])  # type: ignore[arg-type]
+        perf = [int(v) for v in summary["perf"]]  # type: ignore[union-attr]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BenchFormatError(f"summary lacks n_items/perf: {exc}") from None
+    return f"{n}x" + "-".join(str(v) for v in perf)
+
+
+def _migrate_v1(doc: dict) -> dict:
+    """Wrap a legacy single-summary file into the v2 run list."""
+    return {"schema": SCHEMA, "runs": [{"key": run_key(doc), **doc}]}
+
+
+def load_bench(path: str) -> dict:
+    """Read (and, for legacy v1 files, migrate) a benchmark document.
+
+    A missing file yields an empty document, so the first append works
+    on a fresh checkout.
+    """
+    if not os.path.exists(path):
+        return {"schema": SCHEMA, "runs": []}
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise BenchFormatError(f"{path} is not JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise BenchFormatError(f"{path}: expected a JSON object")
+    if doc.get("schema") == SCHEMA:
+        validate_bench(doc, path=path)
+        return doc
+    if "command" in doc and "n_items" in doc:
+        return _migrate_v1(doc)
+    raise BenchFormatError(
+        f"{path}: neither a {SCHEMA} document nor a legacy v1 summary"
+    )
+
+
+def validate_bench(doc: Mapping[str, object], path: str = "<doc>") -> None:
+    """Structural check of a v2 document; raises BenchFormatError."""
+    if doc.get("schema") != SCHEMA:
+        raise BenchFormatError(f"{path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        raise BenchFormatError(f"{path}: 'runs' must be a list")
+    seen: set[str] = set()
+    for i, entry in enumerate(runs):
+        if not isinstance(entry, dict):
+            raise BenchFormatError(f"{path}: runs[{i}] is not an object")
+        key = entry.get("key")
+        if not isinstance(key, str) or not key:
+            raise BenchFormatError(f"{path}: runs[{i}] has no key")
+        if key != run_key(entry):
+            raise BenchFormatError(
+                f"{path}: runs[{i}] key {key!r} does not match its "
+                f"n_items/perf ({run_key(entry)!r})"
+            )
+        if key in seen:
+            raise BenchFormatError(f"{path}: duplicate run key {key!r}")
+        seen.add(key)
+
+
+def append_run(path: str, summary: Mapping[str, object]) -> dict:
+    """Fold one CLI JSON summary into the artifact at ``path``.
+
+    Returns the written document.  The entry for the summary's
+    configuration is updated in place when it already exists (latest
+    run wins), appended otherwise — earlier configurations survive.
+    """
+    doc = load_bench(path)
+    entry = {"key": run_key(summary), **summary}
+    runs = doc["runs"]
+    for i, existing in enumerate(runs):
+        if existing.get("key") == entry["key"]:
+            runs[i] = entry
+            break
+    else:
+        runs.append(entry)
+    validate_bench(doc, path=path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc
+
+
+def get_run(doc: Mapping[str, object], key: str) -> Optional[dict]:
+    """The run entry with ``key``, or None."""
+    for entry in doc.get("runs", ()):  # type: ignore[union-attr]
+        if entry.get("key") == key:
+            return entry
+    return None

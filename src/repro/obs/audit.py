@@ -162,6 +162,24 @@ class AuditReport:
     def violations(self) -> list[AuditRow]:
         return [r for r in self.rows if not r.ok]
 
+    @property
+    def worst_ratio(self) -> float:
+        """Largest measured/bound ratio over the bounded rows (0.0 if none).
+
+        The scenario fuzzer uses this as its corpus score: a run that
+        pushes closer to a paper bound is a more interesting neighbour
+        to mutate than one that idles in the middle of the envelope.
+        """
+        return max((r.ratio for r in self.rows if r.ratio is not None), default=0.0)
+
+    @property
+    def worst_row(self) -> Optional[AuditRow]:
+        """The bounded row with the largest ratio, or None."""
+        bounded = [r for r in self.rows if r.ratio is not None]
+        if not bounded:
+            return None
+        return max(bounded, key=lambda r: r.ratio)  # type: ignore[arg-type, return-value]
+
     def table(self) -> Table:
         t = Table(
             "bounds audit (measured vs paper per-step item I/O)",
@@ -211,7 +229,12 @@ def _merge_levels(n_runs: int, k: int) -> int:
 
 
 def _bound_for(
-    step: str, node: int, meta: RunMeta, perf: PerfVector, portions: list[int]
+    step: str,
+    node: int,
+    meta: RunMeta,
+    perf: PerfVector,
+    portions: list[int],
+    slack: float = POLYPHASE_SLACK,
 ) -> tuple[Optional[float], str]:
     """The paper bound (in items) for one (step, node) cell, with a note."""
     if node < 0 or node >= perf.p:
@@ -234,7 +257,7 @@ def _bound_for(
         # pass, even when l_i <= M (the formula's log term is then 0).
         base = cfg.step1_io_bound(l_i) if cfg is not None else 0.0
         base = max(base, 4.0 * l_i)
-        return POLYPHASE_SLACK * base, "2l(1+max(1,ceil(log_m l))) x1.3 polyphase slack"
+        return slack * base, f"2l(1+max(1,ceil(log_m l))) x{slack:g} polyphase slack"
     if step == "2:pivots":
         if meta.pivot_method == "quantile":
             return None, "quantile search I/O not bounded by the sample formula"
@@ -254,23 +277,35 @@ def _bound_for(
             base = max(paper, runs)
         else:
             base = 2.0 * lb
-        return POLYPHASE_SLACK * base + p * B, "2l'(1+ceil(log_m l')) on l'<=2l_i+d"
+        return slack * base + p * B, "2l'(1+ceil(log_m l')) on l'<=2l_i+d"
     return None, "outside Algorithm 1"
 
 
-def audit_run(events: Iterable[Event], meta: RunMeta) -> AuditReport:
+def audit_run(
+    events: Iterable[Event],
+    meta: RunMeta,
+    *,
+    polyphase_slack: float = POLYPHASE_SLACK,
+) -> AuditReport:
     """Check a run's folded per-step I/O against the paper bounds.
 
     Assumes a fault-free, full-cluster run: in degraded mode the node
     positions and shares are rescaled mid-run and the Algorithm-1
     per-node bounds no longer describe the execution (the CLI skips
     enforcement for degraded runs).
+
+    ``polyphase_slack`` overrides the step-1/5 dummy-run slack factor;
+    the scenario fuzzer tightens it toward 1.0 to hunt for runs that
+    exceed the paper's *ideal* merge formula, not just the engineering
+    envelope.
     """
+    if polyphase_slack <= 0:
+        raise ValueError(f"polyphase_slack must be > 0, got {polyphase_slack}")
     perf = PerfVector(list(meta.perf))
     portions = perf.portions(meta.n_items)
     report = AuditReport(meta=meta)
     for (step, node), io in sorted(collect_step_io(events).items()):
-        bound, note = _bound_for(step, node, meta, perf, portions)
+        bound, note = _bound_for(step, node, meta, perf, portions, polyphase_slack)
         report.rows.append(
             AuditRow(
                 step=step,

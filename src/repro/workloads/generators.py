@@ -44,7 +44,12 @@ def _gaussian(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
     mid = (int(info.max) + int(info.min)) / 2.0
     spread = _key_space(dtype) / 8.0
     vals = rng.normal(mid, spread, size=n)
-    return np.clip(vals, info.min, info.max).astype(dtype)
+    hi = float(info.max)
+    if int(hi) > info.max:
+        # float64 rounded a 64-bit max up past the dtype range; clipping
+        # there and casting would wrap, so clip to the next float down
+        hi = float(np.nextafter(hi, 0.0))
+    return np.clip(vals, info.min, hi).astype(dtype)
 
 
 def _zipf_duplicates(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
@@ -75,6 +80,8 @@ def _reverse_sorted(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.nda
 def _nearly_sorted(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
     """Sorted input with ~1% random transpositions."""
     out = _sorted(n, rng, dtype)
+    if n < 2:  # nothing to transpose (and rng.integers rejects high=0)
+        return out
     n_swaps = max(1, n // 100)
     a = rng.integers(0, n, size=n_swaps)
     b = rng.integers(0, n, size=n_swaps)
@@ -85,18 +92,21 @@ def _nearly_sorted(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndar
 def _staggered(n: int, rng: np.random.Generator, dtype: np.dtype) -> np.ndarray:
     """Bucket-skewed ("staggered") input: value range correlates with
     position, defeating naive range partitioning."""
-    info = np.iinfo(dtype)
     n_buckets = 16
     out = np.empty(n, dtype=dtype)
     bounds = np.linspace(0, n, n_buckets + 1).astype(int)
     width = _key_space(dtype) // n_buckets
     order = (np.arange(n_buckets) * 7 + 3) % n_buckets  # scrambled bucket order
+    # Work in the unsigned offset space [0, key_space) so 64-bit dtypes
+    # never overflow the int64 bounds rng.integers accepts; signed
+    # dtypes map back by flipping the sign bit (offset 0 == info.min).
+    utwin = np.dtype(f"u{dtype.itemsize}")
+    sign_bit = utwin.type(1 << (8 * dtype.itemsize - 1))
     for i in range(n_buckets):
         lo, hi = bounds[i], bounds[i + 1]
-        base = int(info.min) + int(order[i]) * width
-        out[lo:hi] = rng.integers(base, base + width, size=hi - lo, dtype=np.int64).astype(
-            dtype
-        )
+        start = np.uint64(int(order[i]) * width)
+        offs = (rng.integers(0, width, size=hi - lo, dtype=np.uint64) + start).astype(utwin)
+        out[lo:hi] = (offs ^ sign_bit).view(dtype) if dtype.kind == "i" else offs
     return out
 
 

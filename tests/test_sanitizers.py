@@ -173,6 +173,18 @@ class TestConfigAndStack:
         # pytest.raises(AssertionError) therefore also catches SAN failures.
         assert issubclass(SanitizerError, AssertionError)
 
+    def test_trips_survive_the_raise(self):
+        # consumers that translate the error (the fuzzer classifying a
+        # run) read the machine-readable record off .trips afterwards
+        node = SimNode(0)
+        with sanitized(check_leaks=False) as san:
+            with pytest.raises(SanitizerError):
+                node.disk.charge_read(0, 4)
+            with pytest.raises(SanitizerError):
+                node.disk.charge_read(0, 4)
+        assert [t.check for t in san.trips] == ["SAN-DISK-EMPTY", "SAN-DISK-EMPTY"]
+        assert "degenerate" in san.trips[0].message
+
 
 class TestEndToEnd:
     def test_full_external_sort_runs_clean_under_sanitizers(self):

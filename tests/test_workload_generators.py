@@ -1,0 +1,99 @@
+"""Direct property tests of the eight benchmark generators.
+
+The fuzzer's determinism guarantee rests on the workload layer being a
+pure function of ``(benchmark, n, seed, dtype)`` — these tests pin that
+contract (and each distribution's shape) independently of the sort
+pipeline that usually consumes the arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import BENCHMARKS, generate, make_benchmark
+from repro.workloads.records import SUPPORTED_KEY_DTYPES
+
+ALL_IDS = sorted(BENCHMARKS)
+ALL_NAMES = [BENCHMARKS[i].name for i in ALL_IDS]
+
+bench_ids = st.sampled_from(ALL_IDS)
+sizes = st.integers(min_value=1, max_value=4096)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+dtypes = st.sampled_from([np.dtype(d) for d in SUPPORTED_KEY_DTYPES])
+
+
+@given(which=bench_ids, n=sizes, seed=seeds, dtype=dtypes)
+@settings(max_examples=60)
+def test_same_inputs_same_array(which, n, seed, dtype):
+    a = make_benchmark(which, n, seed=seed, dtype=dtype)
+    b = make_benchmark(which, n, seed=seed, dtype=dtype)
+    assert a.dtype == dtype and a.size == n
+    np.testing.assert_array_equal(a, b)
+
+
+@given(which=bench_ids, n=st.integers(min_value=64, max_value=2048), seed=seeds)
+def test_different_seeds_differ(which, n, seed):
+    a = make_benchmark(which, n, seed=seed)
+    b = make_benchmark(which, n, seed=seed + 1)
+    # every generator draws from its rng, so a seed change must show
+    # (n >= 64 makes an accidental full collision astronomically unlikely)
+    assert not np.array_equal(a, b)
+
+
+@given(which=bench_ids, n=sizes, seed=seeds, dtype=dtypes)
+@settings(max_examples=40)
+def test_name_and_id_agree(which, n, seed, dtype):
+    by_id = make_benchmark(which, n, seed=seed, dtype=dtype)
+    by_name = make_benchmark(BENCHMARKS[which].name, n, seed=seed, dtype=dtype)
+    np.testing.assert_array_equal(by_id, by_name)
+
+
+@given(n=st.integers(min_value=16, max_value=8192), seed=seeds, dtype=dtypes)
+@settings(max_examples=40)
+def test_zipf_distinct_count(n, seed, dtype):
+    out = make_benchmark("zipf", n, seed=seed, dtype=dtype)
+    distinct = np.unique(out).size
+    # the spec promises ~sqrt(n) distinct values (the drawn value table
+    # can collide or not all be sampled, so the bound is one-sided)
+    assert 1 <= distinct <= max(2, int(np.sqrt(max(n, 4))))
+
+
+@given(n=st.integers(min_value=1, max_value=8192), seed=seeds, dtype=dtypes)
+@settings(max_examples=40)
+def test_all_equal_has_one_key(n, seed, dtype):
+    out = make_benchmark("all_equal", n, seed=seed, dtype=dtype)
+    assert np.unique(out).size == 1
+
+
+@given(n=st.integers(min_value=2, max_value=4096), seed=seeds)
+def test_sorted_and_reverse_are_monotone(n, seed):
+    asc = make_benchmark("sorted", n, seed=seed)
+    desc = make_benchmark("reverse", n, seed=seed)
+    assert np.all(np.diff(asc.astype(np.int64)) >= 0)
+    assert np.all(np.diff(desc.astype(np.int64)) <= 0)
+    # reverse is exactly sorted flipped (same seed, same draws)
+    np.testing.assert_array_equal(desc, asc[::-1])
+
+
+@pytest.mark.parametrize("which", ALL_IDS, ids=ALL_NAMES)
+def test_zero_items_is_legal(which):
+    out = make_benchmark(which, 0)
+    assert out.size == 0 and out.dtype == np.uint32
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        make_benchmark("no_such_workload", 16)
+    with pytest.raises(KeyError):
+        make_benchmark(99, 16)
+    with pytest.raises(ValueError):
+        make_benchmark(0, -1)
+
+
+def test_generate_alias_matches():
+    np.testing.assert_array_equal(
+        generate("uniform", 128, seed=7), make_benchmark(0, 128, seed=7)
+    )
