@@ -1,0 +1,184 @@
+"""Incremental lint cache: skip re-analysing unchanged modules.
+
+Results are keyed by content, never by timestamp: a cache entry's key is
+the sha256 of the analysed source (plus the engine version and the rule
+selection), so a stale hit is impossible — editing a file changes its
+key, upgrading an engine changes every key.
+
+Two granularities, matching the two kinds of pass:
+
+* the **shallow** pass (REP001..REP008) is strictly per-module, so each
+  file caches independently — editing one module re-analyses one module;
+* the **deep** (REP101..REP105) and **protocol** (REP201..REP206)
+  passes are interprocedural: a finding in module A can depend on module
+  B's source, so their keys include the digest of the *whole* project
+  file set.  They hit only when nothing changed — which is still the
+  common case in CI re-runs and pre-commit loops.
+
+Entries live under ``.lint-cache/`` (git-ignored) as small JSON files,
+written atomically.  ``repro lint --no-cache`` bypasses the cache, and
+the JSON report carries a ``cache: {hits, misses, hit_rate}`` line so CI
+can track the hit rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    FileReport,
+    Finding,
+    Suppression,
+)
+
+#: default cache directory, relative to the invocation cwd
+DEFAULT_CACHE_DIR = ".lint-cache"
+
+#: bump to invalidate every entry on cache-format changes
+CACHE_FORMAT = "1"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def cache_key(*parts: str) -> str:
+    """Stable key from ordered string parts (NUL-joined, sha256)."""
+    blob = "\x00".join((CACHE_FORMAT, *parts))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def project_digest(files: Sequence[tuple[str, str]]) -> str:
+    """Digest of a whole file set: ``(display_path, source)`` pairs."""
+    h = hashlib.sha256()
+    for display, source in sorted(files):
+        h.update(display.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(source_digest(source).encode("ascii"))
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+def rule_selection_token(codes: Sequence[str] | None) -> str:
+    """Canonical token for a ``--rule`` selection (``*`` = all rules)."""
+    if not codes:
+        return "*"
+    return ",".join(sorted(c.upper() for c in codes))
+
+
+# -- FileReport (de)serialisation -------------------------------------------
+
+
+def _finding_to_dict(f: Finding) -> dict[str, object]:
+    return {
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "rule": f.rule,
+        "message": f.message,
+        "snippet": f.snippet,
+    }
+
+
+def _finding_from_dict(d: dict[str, object]) -> Finding:
+    return Finding(
+        path=str(d["path"]),
+        line=int(d["line"]),  # type: ignore[arg-type]
+        col=int(d["col"]),  # type: ignore[arg-type]
+        rule=str(d["rule"]),
+        message=str(d["message"]),
+        snippet=str(d["snippet"]),
+    )
+
+
+def file_report_to_dict(fr: FileReport) -> dict[str, object]:
+    return {
+        "path": fr.path,
+        "findings": [_finding_to_dict(f) for f in fr.findings],
+        "suppressed": [
+            {"finding": _finding_to_dict(s.finding), "reason": s.reason}
+            for s in fr.suppressed
+        ],
+    }
+
+
+def file_report_from_dict(d: dict[str, object]) -> FileReport:
+    fr = FileReport(path=str(d["path"]))
+    fr.findings = [_finding_from_dict(x) for x in d.get("findings", [])]  # type: ignore[union-attr]
+    fr.suppressed = [
+        Suppression(_finding_from_dict(x["finding"]), str(x["reason"]))
+        for x in d.get("suppressed", [])  # type: ignore[union-attr]
+    ]
+    return fr
+
+
+def report_to_dict(report: AnalysisReport) -> dict[str, object]:
+    return {"files": [file_report_to_dict(fr) for fr in report.files]}
+
+
+def report_from_dict(d: dict[str, object]) -> AnalysisReport:
+    report = AnalysisReport()
+    report.files = [file_report_from_dict(x) for x in d.get("files", [])]  # type: ignore[union-attr]
+    return report
+
+
+# -- the cache proper --------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class LintCache:
+    """Content-addressed JSON store under ``root`` with hit/miss stats.
+
+    All I/O failures degrade to cache misses (a broken cache must never
+    break the lint run); writes are atomic (tmp + rename).
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict[str, object]]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload  # type: ignore[no-any-return]
+
+    def put(self, key: str, payload: dict[str, object]) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            pass  # a read-only cache directory is not an error

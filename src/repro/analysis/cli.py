@@ -9,9 +9,18 @@ Exit codes (CI contract, tested):
   mistaken for a clean run.
 
 ``--deep`` additionally runs the flow-aware interprocedural rules
-(REP101..REP105, :mod:`repro.analysis.flow`) on top of the syntactic
-pass — same exit contract, same noqa/baseline machinery; deep findings
-fingerprint identically, so one baseline file covers both passes.
+(REP101..REP105, :mod:`repro.analysis.flow`) and ``--protocol`` the
+communication-protocol rules (REP201..REP206,
+:mod:`repro.analysis.protocol`) on top of the syntactic pass — same
+exit contract, same noqa/baseline machinery; all findings fingerprint
+identically, so one baseline file covers every pass.
+
+``--emit-schema DIR`` writes the statically extracted per-step
+communication schema of every known algorithm entry point as
+``protocol-<name>.json`` (the input to ``repro audit --protocol``).
+
+Results are cached under ``.lint-cache/`` keyed by content sha256 +
+engine version (:mod:`repro.analysis.cache`); ``--no-cache`` bypasses.
 
 ``--format json`` output is stable for tooling: fixed keys, findings
 sorted by (path, line, rule), engine version keys, no timestamps or
@@ -24,22 +33,43 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Sequence, TextIO
+from typing import Callable, Sequence, TextIO
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, fingerprint
+from repro.analysis.cache import (
+    DEFAULT_CACHE_DIR,
+    LintCache,
+    cache_key,
+    file_report_from_dict,
+    file_report_to_dict,
+    project_digest,
+    report_from_dict,
+    report_to_dict,
+    rule_selection_token,
+    source_digest,
+)
 from repro.analysis.engine import (
     ENGINE_VERSION,
     AnalysisError,
     AnalysisReport,
     FileReport,
     Finding,
-    analyze_paths,
+    analyze_source,
+    iter_python_files,
 )
 from repro.analysis.flow import (
     DEEP_RULES_BY_CODE,
     FLOW_ENGINE_VERSION,
     analyze_deep,
     get_deep_rules,
+    load_project,
+)
+from repro.analysis.protocol import (
+    PROTOCOL_ENGINE_VERSION,
+    PROTOCOL_RULES_BY_CODE,
+    analyze_protocol,
+    emit_schemas,
+    get_protocol_rules,
 )
 from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, get_rules
 
@@ -67,6 +97,18 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="also run the flow-aware interprocedural rules (REP101..REP105)",
     )
     parser.add_argument(
+        "--protocol",
+        action="store_true",
+        help="also run the communication-protocol rules (REP201..REP206)",
+    )
+    parser.add_argument(
+        "--emit-schema",
+        default=None,
+        metavar="DIR",
+        help="write per-algorithm protocol schemas (protocol-<name>.json) "
+        "extracted from the analysed sources into DIR",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="FILE",
@@ -82,6 +124,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--write-baseline",
         action="store_true",
         help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"bypass the incremental result cache ({DEFAULT_CACHE_DIR}/)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="location of the incremental result cache",
     )
     parser.add_argument(
         "--format",
@@ -121,9 +174,17 @@ def _default_baseline() -> Path | None:
 
 def _list_rules(out: TextIO) -> None:
     deep_rules = tuple(DEEP_RULES_BY_CODE[c] for c in sorted(DEEP_RULES_BY_CODE))
-    for rule in (*ALL_RULES, *deep_rules):
+    protocol_rules = tuple(
+        PROTOCOL_RULES_BY_CODE[c] for c in sorted(PROTOCOL_RULES_BY_CODE)
+    )
+    for rule in (*ALL_RULES, *deep_rules, *protocol_rules):
         scope = ", ".join(rule.scope) if rule.scope else "whole package"
-        tag = " [deep]" if rule.code in DEEP_RULES_BY_CODE else ""
+        if rule.code in PROTOCOL_RULES_BY_CODE:
+            tag = " [protocol]"
+        elif rule.code in DEEP_RULES_BY_CODE:
+            tag = " [deep]"
+        else:
+            tag = ""
         out.write(f"{rule.code} {rule.name}{tag}: {rule.summary}\n")
         out.write(f"    scope: {scope}\n")
         if rule.exempt:
@@ -132,25 +193,32 @@ def _list_rules(out: TextIO) -> None:
 
 
 def _split_rule_codes(
-    codes: Sequence[str] | None, deep: bool
-) -> tuple[Sequence[str] | None, Sequence[str] | None]:
-    """Partition ``--rule`` selections into (shallow, deep) code lists.
+    codes: Sequence[str] | None, deep: bool, protocol: bool
+) -> tuple[Sequence[str] | None, Sequence[str] | None, Sequence[str] | None]:
+    """Partition ``--rule`` selections into (shallow, deep, protocol).
 
     Returns ``None`` for a pass meaning "all its rules"; an empty list
     meaning "skip that pass entirely" (the user filtered it out).
     """
     if not codes:
-        return None, (None if deep else [])
+        return None, (None if deep else []), (None if protocol else [])
     shallow: list[str] = []
     deep_codes: list[str] = []
+    protocol_codes: list[str] = []
     for code in codes:
         upper = code.upper()
         if upper in RULES_BY_CODE:
             shallow.append(code)
         elif upper in DEEP_RULES_BY_CODE:
             deep_codes.append(code)
+        elif upper in PROTOCOL_RULES_BY_CODE:
+            protocol_codes.append(code)
         else:
-            known = sorted(RULES_BY_CODE) + sorted(DEEP_RULES_BY_CODE)
+            known = (
+                sorted(RULES_BY_CODE)
+                + sorted(DEEP_RULES_BY_CODE)
+                + sorted(PROTOCOL_RULES_BY_CODE)
+            )
             raise AnalysisError(
                 f"unknown rule {code!r}; have {', '.join(known)}"
             )
@@ -159,19 +227,24 @@ def _split_rule_codes(
             f"rule(s) {', '.join(sorted(c.upper() for c in deep_codes))} "
             "are flow-aware deep rules; pass --deep to enable them"
         )
-    return shallow, deep_codes
+    if protocol_codes and not protocol:
+        raise AnalysisError(
+            f"rule(s) {', '.join(sorted(c.upper() for c in protocol_codes))} "
+            "are protocol rules; pass --protocol to enable them"
+        )
+    return shallow, deep_codes, protocol_codes
 
 
 def _merge_reports(
-    shallow: AnalysisReport, deep: AnalysisReport
+    shallow: AnalysisReport, extra: AnalysisReport
 ) -> AnalysisReport:
-    """Fold the deep pass into the shallow one, keyed by display path.
+    """Fold a later pass into the base report, keyed by display path.
 
-    Both passes walk the same files, so file counts must not double;
+    All passes walk the same files, so file counts must not double;
     findings for the same file are combined and re-sorted.
     """
     by_path: dict[str, FileReport] = {fr.path: fr for fr in shallow.files}
-    for fr in deep.files:
+    for fr in extra.files:
         base = by_path.get(fr.path)
         if base is None:
             by_path[fr.path] = fr
@@ -181,6 +254,69 @@ def _merge_reports(
             base.findings.sort()
             base.suppressed.extend(fr.suppressed)
     return shallow
+
+
+# -- cached pass execution ---------------------------------------------------
+
+
+def _read_sources(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    out = []
+    for p in iter_python_files(paths):
+        try:
+            out.append((p, p.read_text(encoding="utf-8")))
+        except OSError as exc:
+            raise AnalysisError(f"{p}: cannot read: {exc}") from exc
+    return out
+
+
+def _analyze_shallow(
+    sources: Sequence[tuple[Path, str]],
+    codes: Sequence[str] | None,
+    cache: LintCache | None,
+) -> AnalysisReport:
+    """The per-module syntactic pass, cached per file."""
+    rules = get_rules(codes)
+    token = rule_selection_token(codes)
+    report = AnalysisReport()
+    for path, source in sources:
+        display = path.as_posix()
+        key = cache_key("shallow", ENGINE_VERSION, token, display,
+                        source_digest(source))
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                report.files.append(file_report_from_dict(hit))
+                continue
+        fr = analyze_source(source, str(path), rules, display_path=display)
+        if cache is not None:
+            cache.put(key, file_report_to_dict(fr))
+        report.files.append(fr)
+    return report
+
+
+def _analyze_whole_project(
+    pass_name: str,
+    engine_version: str,
+    sources: Sequence[tuple[Path, str]],
+    codes: Sequence[str] | None,
+    cache: LintCache | None,
+    run: Callable[[], AnalysisReport],
+) -> AnalysisReport:
+    """A whole-project (interprocedural) pass, cached by project digest."""
+    digest = project_digest([(p.as_posix(), s) for p, s in sources])
+    key = cache_key(pass_name, engine_version, rule_selection_token(codes),
+                    digest)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return report_from_dict(hit)
+    report = run()
+    if cache is not None:
+        cache.put(key, report_to_dict(report))
+    return report
+
+
+# -- rendering ---------------------------------------------------------------
 
 
 def _render_text(
@@ -214,11 +350,14 @@ def _render_json(
     baselined: list[Finding],
     report: AnalysisReport,
     deep: bool,
+    protocol: bool,
+    cache: LintCache | None,
 ) -> None:
     payload = {
         "version": 1,
         "engine_version": ENGINE_VERSION,
         "flow_engine_version": FLOW_ENGINE_VERSION if deep else None,
+        "protocol_engine_version": PROTOCOL_ENGINE_VERSION if protocol else None,
         "findings": [
             {**f.to_dict(), "fingerprint": fingerprint(f)}
             for f in sorted(new, key=_finding_order)
@@ -237,6 +376,7 @@ def _render_json(
             "baselined": len(baselined),
             "suppressed": len(report.suppressed),
         },
+        "cache": cache.stats.to_dict() if cache is not None else None,
     }
     out.write(json.dumps(payload, indent=2) + "\n")
 
@@ -254,16 +394,55 @@ def run_lint(
             _list_rules(out)
             return EXIT_CLEAN
         deep = getattr(args, "deep", False)
-        shallow_codes, deep_codes = _split_rule_codes(args.rule, deep)
+        protocol = getattr(args, "protocol", False)
+        emit_schema_dir = getattr(args, "emit_schema", None)
+        shallow_codes, deep_codes, protocol_codes = _split_rule_codes(
+            args.rule, deep, protocol
+        )
         paths = args.paths or _default_paths()
+        cache: LintCache | None = None
+        if not getattr(args, "no_cache", False):
+            cache = LintCache(Path(getattr(args, "cache_dir", DEFAULT_CACHE_DIR)))
+        sources = _read_sources(paths)
+
         if shallow_codes == []:
-            report = AnalysisReport()  # --rule selected deep codes only
+            report = AnalysisReport()  # --rule selected deep/protocol only
         else:
-            report = analyze_paths(paths, get_rules(shallow_codes))
+            report = _analyze_shallow(sources, shallow_codes, cache)
+
+        # the deep and protocol passes (and --emit-schema) share one model
+        project = None
+        if (deep and deep_codes != []) or (protocol and protocol_codes != []) \
+                or emit_schema_dir is not None:
+            project = load_project(paths)
         if deep and deep_codes != []:
             report = _merge_reports(
-                report, analyze_deep(paths, get_deep_rules(deep_codes))
+                report,
+                _analyze_whole_project(
+                    "deep", FLOW_ENGINE_VERSION, sources, deep_codes, cache,
+                    lambda: analyze_deep(
+                        paths, get_deep_rules(deep_codes), project=project
+                    ),
+                ),
             )
+        if protocol and protocol_codes != []:
+            report = _merge_reports(
+                report,
+                _analyze_whole_project(
+                    "protocol", PROTOCOL_ENGINE_VERSION, sources,
+                    protocol_codes, cache,
+                    lambda: analyze_protocol(
+                        paths, get_protocol_rules(protocol_codes),
+                        project=project,
+                    ),
+                ),
+            )
+        if emit_schema_dir is not None and project is not None:
+            written = emit_schemas(project, emit_schema_dir)
+            # keep stdout pure JSON for tooling; notices go to stderr
+            notice_out = err if args.format == "json" else out
+            for path in written:
+                notice_out.write(f"wrote schema {path.as_posix()}\n")
         findings = report.findings
 
         baseline_path: Path | None
@@ -292,7 +471,7 @@ def run_lint(
             new, baselined = findings, []
 
         if args.format == "json":
-            _render_json(out, new, baselined, report, deep)
+            _render_json(out, new, baselined, report, deep, protocol, cache)
         else:
             _render_text(out, new, baselined, report, args.show_suppressed)
         return EXIT_FINDINGS if new else EXIT_CLEAN
@@ -309,7 +488,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="repro lint",
         description=(
             "simulation-invariant linter (REP001..REP008; "
-            "--deep adds flow-aware REP101..REP105)"
+            "--deep adds flow-aware REP101..REP105; "
+            "--protocol adds communication rules REP201..REP206)"
         ),
     )
     add_lint_arguments(parser)

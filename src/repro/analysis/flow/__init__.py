@@ -131,10 +131,17 @@ def _run_project(
 
 
 def analyze_deep(
-    paths: Iterable[str | Path], rules: Sequence[DeepRule] | None = None
+    paths: Iterable[str | Path],
+    rules: Sequence[DeepRule] | None = None,
+    project: Project | None = None,
 ) -> AnalysisReport:
-    """Build the project model for ``paths`` and run the deep rules."""
-    project = load_project(paths)
+    """Build the project model for ``paths`` and run the deep rules.
+
+    Pass a prebuilt ``project`` to share the model (and its rule caches)
+    with other passes over the same file set.
+    """
+    if project is None:
+        project = load_project(paths)
     return _run_project(project, DEEP_RULES if rules is None else rules)
 
 

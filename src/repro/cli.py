@@ -139,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_audit.add_argument("events_file", help="JSONL log from 'repro sort --events'")
     p_audit.add_argument(
+        "--protocol",
+        default=None,
+        metavar="SCHEMA",
+        help="also check trace conformance against a protocol schema JSON "
+        "(from 'repro lint --protocol --emit-schema DIR')",
+    )
+    p_audit.add_argument(
         "--format", choices=["text", "json"], default="text", help="report format"
     )
 
@@ -360,11 +367,29 @@ def cmd_audit(args) -> int:
         return 2
     meta = RunMeta.from_dict(meta_dict)
     report = audit_run(events, meta)
+    conformance = None
+    if getattr(args, "protocol", None) is not None:
+        from repro.obs.conformance import check_conformance
+
+        try:
+            with open(args.protocol, encoding="utf-8") as fh:
+                schema = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read schema {args.protocol}: {exc}",
+                  file=sys.stderr)
+            return 2
+        conformance = check_conformance(schema, events)
     if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
+        payload = report.to_dict()
+        if conformance is not None:
+            payload["protocol"] = conformance.to_dict()
+        print(json.dumps(payload, indent=2))
     else:
         print(report.table().render())
-    return 0 if report.ok else 1
+        if conformance is not None:
+            print(conformance.table().render())
+    ok = report.ok and (conformance is None or conformance.ok)
+    return 0 if ok else 1
 
 
 def cmd_calibrate(args) -> int:

@@ -94,7 +94,7 @@ class SimComm:
         self._check_rank(root)
         if len(payloads) != self.size:
             raise ValueError(f"need {self.size} payloads, got {len(payloads)}")
-        out = []
+        out: list[np.ndarray] = []
         for i, arr in enumerate(payloads):
             arr = np.asarray(arr)
             if i != root:

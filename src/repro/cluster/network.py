@@ -17,7 +17,7 @@ which is what makes the all-to-all redistribution phase cost realistic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.analysis.sanitizers import active_sanitizer
 from repro.cluster.node import SimNode
@@ -104,7 +104,9 @@ class Network:
     moves bulk data and MPI switches to rendezvous mode at these sizes).
     """
 
-    def __init__(self, link: LinkModel, n_nodes: int, packet_bytes: int = 32 * 1024):
+    def __init__(
+        self, link: LinkModel, n_nodes: int, packet_bytes: int = 32 * 1024
+    ) -> None:
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         if packet_bytes < 1:
@@ -120,7 +122,9 @@ class Network:
         #: :class:`~repro.faults.plan.NetworkFaultError` (hard failure,
         #: the message is not delivered or counted) or return extra
         #: service time (drops charged as retransmissions, delays).
-        self.fault_hook = None
+        self.fault_hook: Optional[
+            Callable[[SimNode, SimNode, int, float], float]
+        ] = None
         #: Telemetry bus (wired by the owning Cluster); every completed
         #: message is published as a ``NetTransfer`` event.
         self.bus: Optional["TelemetryBus"] = None

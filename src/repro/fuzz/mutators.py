@@ -201,6 +201,32 @@ def mut_fault_kill(rng: np.random.Generator, s: Scenario) -> Scenario:
     )
 
 
+def mut_fault_kill_gap(rng: np.random.Generator, s: Scenario) -> Scenario:
+    """Kill an *interior* surviving rank, leaving a non-contiguous
+    survivor set ({0, 2, 3}-shaped).
+
+    After such a kill every survivor past the gap has a view position
+    different from its global rank — the exact surface the REP206
+    protocol rule (and the PR 4/PR 5 dynamic bugs) covers, which a
+    random kill only sometimes produces.
+    """
+    plan = _plan(s)
+    killed = {k.node for k in plan.node_kills}
+    survivors = [r for r in range(s.p) if r not in killed]
+    interior = survivors[1:-1]  # keep both endpoint ranks alive
+    if not interior:
+        return mut_fault_kill(rng, s)
+    kill = NodeKill(node=_choice(rng, interior), step=int(rng.integers(2, 6)))
+    return s.with_(
+        fault_plan=FaultPlan(
+            disk_faults=plan.disk_faults,
+            message_faults=plan.message_faults,
+            node_kills=plan.node_kills + (kill,),
+            seed=plan.seed,
+        )
+    )
+
+
 def mut_fault_clear(rng: np.random.Generator, s: Scenario) -> Scenario:
     return s.with_(fault_plan=None)
 
@@ -224,6 +250,7 @@ MUTATORS: tuple[tuple[str, Mutator], ...] = (
     ("fault-disk", mut_fault_disk),
     ("fault-message", mut_fault_message),
     ("fault-kill", mut_fault_kill),
+    ("fault-kill-gap", mut_fault_kill_gap),
     ("fault-clear", mut_fault_clear),
 )
 

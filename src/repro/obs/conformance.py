@@ -1,0 +1,299 @@
+"""Dynamic trace conformance against a static protocol schema.
+
+The protocol extractor (``repro lint --protocol --emit-schema``) turns
+each algorithm entry point into a per-step *op tree* — a small grammar
+of ``gather/bcast/scatter/alltoallv/send/transfer`` primitives composed
+with ``seq`` (repeat/optional) and ``alt`` nodes.  This module closes
+the loop: it parses the ``NetTransfer`` events of a recorded telemetry
+JSONL run against that grammar, step by step, so a drift between what
+the code *says* it communicates and what the simulation *actually*
+charges is caught in CI (``repro audit RUN.jsonl --protocol SCHEMA``).
+
+Each primitive consumes transfers by its hardware footprint (the
+network model publishes one ``NetTransfer`` per cross-node message,
+in call order, and none for same-node moves):
+
+* ``gather`` — 1..k messages into one common destination, distinct
+  sources (the root's own contribution is a free local move);
+* ``scatter`` — 1..k messages out of one common source, distinct
+  destinations;
+* ``bcast`` — a binomial tree: the first message leaves the root, and
+  every later source must already hold the payload;
+* ``alltoallv`` — 1..k arbitrary cross-node messages;
+* ``send``/``transfer`` — exactly one message.
+
+A collective's ``root`` expression is *bound* to the observed physical
+node on first use and must resolve to the same node at every later use
+inside one step round — the dynamic analogue of REP202.  Rounds of a
+``may_repeat`` step (degraded re-runs) re-bind from scratch, because
+recovery legitimately elects a new root.
+
+Runs that injected faults are checked leniently: step rounds interrupted
+mid-flight by a node kill leave partial transfer sequences, so failures
+on such runs are reported as informational (``enforced=False``), exactly
+like the bounds auditor treats degraded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.metrics.report import Table
+from repro.obs.events import Event, FaultInjected, NetTransfer
+
+#: matcher state-set cap; beyond this the step is reported ambiguous
+_MAX_STATES = 4096
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One observed cross-node message (global node ranks)."""
+
+    src: int
+    dst: int
+
+
+# a matcher state: position in the transfer list + root bindings
+_State = tuple[int, frozenset[tuple[str, int]]]
+
+
+class _Ambiguous(Exception):
+    """Raised when the state set exceeds :data:`_MAX_STATES`."""
+
+
+def _bind(bindings: frozenset[tuple[str, int]], expr: Optional[str],
+          node: int) -> Optional[frozenset[tuple[str, int]]]:
+    """Bind ``expr`` to the observed ``node``; None on contradiction."""
+    if expr is None:
+        return bindings
+    for name, bound in bindings:
+        if name == expr:
+            return bindings if bound == node else None
+    return bindings | {(expr, node)}
+
+
+def _match_prim(op: dict, ts: Sequence[Transfer], state: _State) -> set[_State]:
+    pos, bindings = state
+    kind = op["kind"]
+    root_expr = op.get("root")
+    out: set[_State] = set()
+    if kind == "barrier":
+        return {state}
+    if kind in ("send", "transfer"):
+        if pos < len(ts) and (kind == "transfer" or ts[pos].src != ts[pos].dst):
+            out.add((pos + 1, bindings))
+        return out
+    if kind == "gather" or kind == "scatter":
+        if pos >= len(ts):
+            return out
+        hub = ts[pos].dst if kind == "gather" else ts[pos].src
+        bound = _bind(bindings, root_expr, hub)
+        if bound is None:
+            return out
+        seen: set[int] = set()
+        i = pos
+        while i < len(ts):
+            t = ts[i]
+            spoke = t.src if kind == "gather" else t.dst
+            same_hub = (t.dst if kind == "gather" else t.src) == hub
+            if not same_hub or spoke == hub or spoke in seen:
+                break
+            seen.add(spoke)
+            i += 1
+            out.add((i, bound))
+        return out
+    if kind == "bcast":
+        if pos >= len(ts):
+            return out
+        root = ts[pos].src
+        bound = _bind(bindings, root_expr, root)
+        if bound is None:
+            return out
+        holders = {root}
+        i = pos
+        while i < len(ts):
+            t = ts[i]
+            if t.src not in holders or t.dst in holders:
+                break
+            holders.add(t.dst)
+            i += 1
+            out.add((i, bound))
+        return out
+    if kind == "alltoallv":
+        i = pos
+        while i < len(ts) and ts[i].src != ts[i].dst:
+            i += 1
+            out.add((i, bindings))
+        return out
+    raise ValueError(f"unknown schema op kind {kind!r}")
+
+
+def _match_op(op: dict, ts: Sequence[Transfer], state: _State) -> set[_State]:
+    kind = op["kind"]
+    if kind == "seq":
+        once = _match_ops(op["ops"], ts, {state})
+        results = set(once)
+        if op.get("repeat"):
+            frontier = once
+            while frontier:
+                nxt = _match_ops(op["ops"], ts, frontier) - results
+                results |= nxt
+                # progress guard: zero-length iterations add no new states
+                frontier = nxt
+                if len(results) > _MAX_STATES:
+                    raise _Ambiguous
+        if op.get("optional"):
+            results.add(state)
+        return results
+    if kind == "alt":
+        results = set()
+        for arm in op["arms"]:
+            results |= _match_ops(arm, ts, {state})
+        return results
+    return _match_prim(op, ts, state)
+
+
+def _match_ops(ops: Iterable[dict], ts: Sequence[Transfer],
+               states: set[_State]) -> set[_State]:
+    for op in ops:
+        nxt: set[_State] = set()
+        for state in states:
+            nxt |= _match_op(op, ts, state)
+            if len(nxt) > _MAX_STATES:
+                raise _Ambiguous
+        states = nxt
+        if not states:
+            break
+    return states
+
+
+def _match_step(ops: list[dict], ts: Sequence[Transfer],
+                may_repeat: bool) -> bool:
+    """Can the step's transfer list be fully parsed by its op tree?
+
+    ``may_repeat`` steps run as back-to-back rounds (degraded re-runs);
+    root bindings reset between rounds, positions do not.
+    """
+    starts: set[int] = {0}
+    seen: set[int] = set()
+    while starts:
+        pos = starts.pop()
+        if pos in seen:
+            continue
+        seen.add(pos)
+        ends = _match_ops(ops, ts, {(pos, frozenset())})
+        if len(ts) in {p for p, _ in ends}:
+            return True
+        if may_repeat:
+            starts |= {p for p, _ in ends if p > pos}
+    return False
+
+
+@dataclass
+class StepConformance:
+    """Verdict for one schema step (or one unexpected trace step)."""
+
+    step: str
+    transfers: int
+    ok: bool
+    enforced: bool
+    note: str = ""
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregate verdict of one run against one schema."""
+
+    algorithm: str
+    faulty: bool
+    rows: list[StepConformance] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.rows if r.enforced)
+
+    @property
+    def violations(self) -> list[StepConformance]:
+        return [r for r in self.rows if r.enforced and not r.ok]
+
+    def table(self) -> Table:
+        t = Table(
+            f"Protocol conformance: {self.algorithm}"
+            + (" (faulty run — informational)" if self.faulty else ""),
+            ["Step", "Transfers", "Verdict", "Note"],
+        )
+        for r in self.rows:
+            verdict = "ok" if r.ok else ("FAIL" if r.enforced else "fail?")
+            t.add_row(r.step, r.transfers, verdict, r.note)
+        return t
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "faulty": self.faulty,
+            "ok": self.ok,
+            "steps": [
+                {
+                    "step": r.step,
+                    "transfers": r.transfers,
+                    "ok": r.ok,
+                    "enforced": r.enforced,
+                    "note": r.note,
+                }
+                for r in self.rows
+            ],
+        }
+
+
+def _group_transfers(events: Sequence[Event]) -> dict[str, list[Transfer]]:
+    """Per-step transfer sequences, in publication (call) order."""
+    by_step: dict[str, list[Transfer]] = {}
+    for ev in events:
+        if isinstance(ev, NetTransfer):
+            step = ev.step if ev.step is not None else ""
+            by_step.setdefault(step, []).append(Transfer(ev.src, ev.dst))
+    return by_step
+
+
+def check_conformance(schema: dict, events: Sequence[Event]) -> ConformanceReport:
+    """Validate a recorded run's net events against a protocol schema."""
+    faulty = any(isinstance(ev, FaultInjected) for ev in events)
+    by_step = _group_transfers(events)
+    report = ConformanceReport(
+        algorithm=str(schema.get("algorithm", "?")), faulty=faulty
+    )
+    schema_steps = {s["name"]: s for s in schema.get("steps", [])}
+    for name, spec in schema_steps.items():
+        ts = by_step.pop(name, [])
+        if not ts and spec.get("optional"):
+            continue  # an optional step that never ran: nothing to check
+        # a fault can interrupt a step mid-round, leaving partial traffic
+        enforced = not faulty
+        try:
+            # fault-free runs execute exactly one round of every step;
+            # multi-round parses are only admitted for degraded re-runs
+            ok = _match_step(
+                spec.get("ops", []), ts, bool(spec.get("may_repeat")) and faulty
+            )
+            note = "" if ok else "transfers do not parse as the declared ops"
+        except _Ambiguous:
+            ok, enforced = False, False
+            note = "match too ambiguous; not enforced"
+        report.rows.append(
+            StepConformance(
+                step=name, transfers=len(ts), ok=ok, enforced=enforced,
+                note=note,
+            )
+        )
+    for name, ts in sorted(by_step.items()):
+        report.rows.append(
+            StepConformance(
+                step=name or "<unattributed>",
+                transfers=len(ts),
+                ok=False,
+                enforced=False,
+                note="step not in schema (informational)",
+            )
+        )
+    return report

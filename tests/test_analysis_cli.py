@@ -19,12 +19,17 @@ DIRTY = "y = sorted(xs)\nt = time.time()\n"
 
 
 def lint(*argv: str) -> tuple[int, str, str]:
-    """Run the standalone lint CLI capturing stdout/stderr."""
+    """Run the standalone lint CLI capturing stdout/stderr.
+
+    The incremental cache is bypassed so these tests exercise the
+    analysis itself (and never write ``.lint-cache/`` into the test
+    cwd); the cache has its own suite in ``test_lint_cache.py``.
+    """
     import contextlib
 
     out, err = io.StringIO(), io.StringIO()
     with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
-        code = main(list(argv))
+        code = main(["--no-cache", *argv])
     return code, out.getvalue(), err.getvalue()
 
 

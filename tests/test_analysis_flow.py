@@ -45,9 +45,11 @@ def codes(report) -> list[str]:
 
 
 def lint(*argv: str) -> tuple[int, str, str]:
+    # --no-cache: keep these tests off the incremental cache (which has
+    # its own suite) and out of the test cwd.
     out, err = io.StringIO(), io.StringIO()
     with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
-        code = main(list(argv))
+        code = main(["--no-cache", *argv])
     return code, out.getvalue(), err.getvalue()
 
 

@@ -186,6 +186,105 @@ class TestSimComm:
         assert src[0] == 1
 
 
+class TestSimCommEdgeCases:
+    """The footprints the protocol schema/conformance model relies on."""
+
+    def _cluster(self, p=4) -> Cluster:
+        return Cluster(homogeneous_cluster(p))
+
+    def test_self_send_is_free_and_publishes_nothing(self):
+        """A rank-i -> rank-i send is a local move: data still arrives,
+        but no message is charged and no NetTransfer event appears."""
+        c = self._cluster(2)
+        c.bus.set_level("io")
+        got = c.comm.send(1, 1, np.array([7, 7]))
+        np.testing.assert_array_equal(got, [7, 7])
+        assert c.network.messages_sent == 0
+        assert c.elapsed() == 0.0
+        assert not [e for e in c.bus.events if e.kind == "net_transfer"]
+
+    def test_cross_send_publishes_one_transfer(self):
+        c = self._cluster(2)
+        c.comm.send(0, 1, np.array([1, 2]))
+        assert c.network.messages_sent == 1
+
+    def test_alltoallv_empty_segments(self):
+        """Zero-length segments are real (empty) messages, unlike None."""
+        c = self._cluster(3)
+        empty = np.array([], dtype=np.uint32)
+        matrix = [
+            [None if i == j else empty for j in range(3)] for i in range(3)
+        ]
+        recv = c.comm.alltoallv(matrix)
+        # 6 off-diagonal zero-byte messages still pay per-message latency
+        assert c.network.messages_sent == 6
+        assert c.elapsed() > 0
+        for i in range(3):
+            for j in range(3):
+                if i == j:
+                    assert recv[i][j] is None
+                else:
+                    assert recv[j][i] is not None and recv[j][i].size == 0
+
+    def test_alltoallv_all_empty_diagonal_only(self):
+        c = self._cluster(2)
+        empty = np.array([], dtype=np.uint32)
+        recv = c.comm.alltoallv([[empty, None], [None, empty]])
+        assert c.network.messages_sent == 0  # diagonal moves are local
+        assert recv[0][0] is not None and recv[0][0].size == 0
+
+    def test_gather_on_noncontiguous_degraded_view(self):
+        """Survivors {0, 2, 3}: view ranks are *positions*, so root=0 is
+        global node 0 and the two messages come from nodes 2 and 3."""
+        c = self._cluster(4)
+        c.bus.set_level("io")
+        view = c.view([0, 2, 3])
+        payloads = [np.full(2, r, dtype=np.uint32) for r in view.ranks]
+        got = view.comm.gather(payloads, root=0)
+        assert len(got) == 3
+        for pos, r in enumerate(view.ranks):
+            np.testing.assert_array_equal(got[pos], [r, r])
+        transfers = [e for e in c.bus.events if e.kind == "net_transfer"]
+        assert {(e.src, e.dst) for e in transfers} == {(2, 0), (3, 0)}
+
+    def test_scatter_on_noncontiguous_degraded_view(self):
+        """Scatter by position: slice i goes to the i-th *survivor*."""
+        c = self._cluster(5)
+        c.bus.set_level("io")
+        view = c.view([1, 3, 4])
+        parts = [np.full(2, pos, dtype=np.uint32) for pos in range(3)]
+        got = view.comm.scatter(parts, root=1)  # root position 1 = node 3
+        np.testing.assert_array_equal(got[2], [2, 2])
+        transfers = [e for e in c.bus.events if e.kind == "net_transfer"]
+        assert {(e.src, e.dst) for e in transfers} == {(3, 1), (3, 4)}
+
+    def test_bcast_on_noncontiguous_degraded_view(self):
+        """Binomial tree in position space: sources are always holders,
+        and only surviving nodes appear in the traffic."""
+        c = self._cluster(6)
+        c.bus.set_level("io")
+        survivors = [0, 2, 3, 5]
+        view = c.view(survivors)
+        out = view.comm.bcast(np.array([4]), root=2)  # root = node 3
+        assert len(out) == len(survivors)
+        transfers = [e for e in c.bus.events if e.kind == "net_transfer"]
+        assert len(transfers) == len(survivors) - 1
+        holders = {3}
+        for e in transfers:
+            assert e.src in holders and e.dst not in holders
+            assert e.src in survivors and e.dst in survivors
+            holders.add(e.dst)
+        assert holders == set(survivors)
+
+    def test_degraded_view_rank_out_of_positions_rejected(self):
+        """Passing a *global* rank where a position is expected fails
+        loudly once the view is small enough (the REP206 bug class)."""
+        c = self._cluster(4)
+        view = c.view([0, 3])
+        with pytest.raises(ValueError, match="out of range"):
+            view.comm.gather([np.array([1])] * 2, root=3)  # 3 is a rank
+
+
 class TestCluster:
     def test_step_records_trace(self):
         c = Cluster(homogeneous_cluster(2))
