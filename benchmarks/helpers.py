@@ -53,3 +53,32 @@ def write_result(name: str, text: str) -> None:
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def record_with_guard(path: str, summary: dict, regression_factor: float = 1.2) -> dict:
+    """Fold one CLI JSON summary into the keyed artifact, guarding perf.
+
+    Tracks the best (smallest) simulated ``elapsed_seconds`` ever
+    recorded for the configuration in a ``best_elapsed_seconds`` field
+    and raises when a new run regresses more than ``regression_factor``
+    over it — so a model change that slows a pinned configuration by
+    >20% must be a conscious edit of ``BENCH_sort.json``, not silent
+    drift.  Returns the written document.
+    """
+    from repro.metrics.bench import append_run, get_run, load_bench, run_key
+
+    key = run_key(summary)
+    elapsed = float(summary["elapsed_seconds"])
+    best = elapsed
+    prior = get_run(load_bench(path), key)
+    if prior is not None:
+        prior_best = float(
+            prior.get("best_elapsed_seconds", prior.get("elapsed_seconds", elapsed))
+        )
+        best = min(best, prior_best)
+        if elapsed > regression_factor * prior_best:
+            raise AssertionError(
+                f"{key}: elapsed {elapsed:.3f}s regressed more than "
+                f"{regression_factor:g}x over best recorded {prior_best:.3f}s"
+            )
+    return append_run(path, {**summary, "best_elapsed_seconds": best})

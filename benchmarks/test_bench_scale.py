@@ -1,0 +1,115 @@
+"""Size x node-count scale matrix for the event kernel.
+
+Sweeps N in {131k, 1M, 10M} items against p in {4, 16, 64} nodes (the
+paper's {1,1,4,4} perf pattern tiled to width) through the real CLI,
+folding every run into ``BENCH_sort.json`` keyed by ``{n}x{perf}``.
+
+Two jobs at once:
+
+* **trajectory** — the artifact accumulates a size x p picture of the
+  event kernel's simulated times, including a 10M-item / 64-node run
+  far beyond the paper's 4-node testbed;
+* **regression guard** — each entry carries a ``best_elapsed_seconds``
+  high-water mark; a run that comes in more than 20% over its key's
+  best fails the bench, so simulated-time regressions on the pinned
+  headline configuration cannot land silently.
+
+Only the small combinations run by default (CI time).  Set
+``REPRO_BENCH_SCALE=full`` — as the nightly workflow does — to run the
+whole matrix; the multi-minute 10M rows skip the auditor (its event
+buffering, not the sort, dominates at that size) but still verify the
+output is a sorted permutation.
+"""
+
+import io
+import json
+import os
+from contextlib import redirect_stdout
+from itertools import cycle, islice
+
+import pytest
+from helpers import BLOCK_ITEMS, MEMORY_ITEMS, MESSAGE_ITEMS, record_with_guard
+
+from repro.cli import main
+from repro.metrics.bench import SCHEMA, get_run, load_bench, run_key
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sort.json")
+HEADLINE_KEY = "131080x1-1-4-4"
+
+SIZES = {"131k": 131072, "1M": 1 << 20, "10M": 10 * (1 << 20)}
+NODE_COUNTS = (4, 16, 64)
+# Default (per-PR CI) combinations; the rest need REPRO_BENCH_SCALE=full.
+LIGHT = {("131k", 4), ("131k", 16), ("1M", 4)}
+FULL = os.environ.get("REPRO_BENCH_SCALE", "") == "full"
+
+MATRIX = [(label, p) for label in SIZES for p in NODE_COUNTS]
+
+
+def _perf_arg(p: int) -> str:
+    """The paper's {1,1,4,4} heterogeneity pattern tiled to p nodes."""
+    return ",".join(str(v) for v in islice(cycle((1, 1, 4, 4)), p))
+
+
+def _run_cli(args: list[str]) -> dict:
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        rc = main(args)
+    assert rc == 0, buf.getvalue()
+    return json.loads(buf.getvalue())
+
+
+@pytest.mark.parametrize(
+    "label,p", MATRIX, ids=[f"{label}-p{p}" for label, p in MATRIX]
+)
+def test_scale_matrix(label, p):
+    if not FULL and (label, p) not in LIGHT:
+        pytest.skip("heavy combination; nightly sets REPRO_BENCH_SCALE=full")
+    n = SIZES[label]
+    args = [
+        "sort",
+        "--n", str(n),
+        "--perf", _perf_arg(p),
+        "--memory", str(MEMORY_ITEMS),
+        "--block", str(BLOCK_ITEMS),
+        "--message", str(MESSAGE_ITEMS),
+        "--kernel", "event",
+        "--format", "json",
+    ]
+    if label == "131k" and p <= 16:
+        # Cheap at this size; keeps the paper bounds enforced on the
+        # trajectory.  Not at p=64: with ~2k items/node the step-5 bound's
+        # 2*l_i+d slack is dwarfed by the p*B partial-block term, so the
+        # formula (stated for the paper's 4-node regime) under-estimates.
+        args.append("--audit")
+    summary = _run_cli(args)
+    assert summary["verified"] is True
+    if "--audit" in args:
+        assert summary["audit"]["ok"] is True
+    doc = record_with_guard(BENCH_PATH, summary)
+    assert doc["schema"] == SCHEMA
+    entry = get_run(doc, run_key(summary))
+    assert entry is not None
+    assert entry["best_elapsed_seconds"] <= entry["elapsed_seconds"]
+
+
+def test_headline_under_two_seconds():
+    """Acceptance pin: the {1,1,4,4} 131k run simulates in under 2 s."""
+    entry = get_run(load_bench(BENCH_PATH), HEADLINE_KEY)
+    assert entry is not None, f"{HEADLINE_KEY} missing from BENCH_sort.json"
+    assert entry["elapsed_seconds"] < 2.0
+
+
+def test_ten_million_by_64_recorded():
+    """Acceptance pin: a completed 10M-item, 64-node entry exists."""
+    doc = load_bench(BENCH_PATH)
+    key = next(
+        (
+            run_key(e)
+            for e in doc["runs"]
+            if e["n_items"] >= SIZES["10M"] and len(e["perf"]) == 64
+        ),
+        None,
+    )
+    assert key is not None, "no 10M x p=64 entry recorded in BENCH_sort.json"
+    entry = get_run(doc, key)
+    assert entry["verified"] is True

@@ -37,7 +37,8 @@ def run_heterogeneity_sweep():
         times = {}
         for label, perf in (("aware", true_perf), ("naive", PerfVector([1] * 4))):
             cluster = Cluster(
-                heterogeneous_cluster(speeds, memory_items=MEMORY_ITEMS)
+                heterogeneous_cluster(speeds, memory_items=MEMORY_ITEMS),
+                kernel="lockstep",  # BSP waste-factor claim
             )
             res = sort_array(cluster, perf, data[: perf.nearest_exact(2**15)], CFG)
             verify_sorted_permutation(data[: res.n_items], res.to_array())
@@ -54,7 +55,10 @@ def run_node_count_sweep():
         perf = PerfVector([1] * p)
         n = perf.nearest_exact(n_total)
         data = make_benchmark(0, n, seed=4)
-        cluster = Cluster(homogeneous_cluster(p, memory_items=MEMORY_ITEMS))
+        cluster = Cluster(
+            homogeneous_cluster(p, memory_items=MEMORY_ITEMS),
+            kernel="lockstep",  # speedup-vs-p curve is a BSP-model claim
+        )
         res = sort_array(cluster, perf, data, CFG)
         verify_sorted_permutation(data, res.to_array())
         rows.append((p, res.elapsed, res.s_max))

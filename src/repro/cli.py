@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="summary output format (json: one machine-readable object)",
     )
+    p_sort.add_argument(
+        "--kernel",
+        choices=["event", "lockstep"],
+        default="event",
+        help="execution kernel: 'event' (overlap-aware per-node clocks) "
+        "or 'lockstep' (legacy barrier-per-step BSP timing)",
+    )
 
     p_cal = sub.add_parser("calibrate", help="Table-2 perf-filling protocol")
     p_cal.add_argument("--n", type=int, default=2**17, help="total input size")
@@ -204,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="report format (json: the full machine-readable report)",
     )
+    p_fuzz.add_argument(
+        "--kernel",
+        choices=["event", "lockstep"],
+        default="event",
+        help="execution kernel every scenario runs under (oracle verdicts "
+        "are kernel-independent; see tests/test_differential_kernel.py)",
+    )
 
     from repro.analysis.cli import add_lint_arguments
 
@@ -247,7 +261,8 @@ def cmd_sort(args) -> int:
     cluster = Cluster(
         heterogeneous_cluster(
             [float(v) for v in perf.values], memory_items=args.memory, link=link
-        )
+        ),
+        kernel=args.kernel,
     )
     if args.events:
         cluster.bus.set_level("full")
@@ -480,7 +495,7 @@ def cmd_fuzz(args) -> int:
     from repro.fuzz import FuzzConfig, fuzz, replay_case
 
     if args.replay is not None:
-        result = replay_case(args.replay)
+        result = replay_case(args.replay, kernel=args.kernel)
         if args.format == "json":
             print(
                 json.dumps(
@@ -514,6 +529,7 @@ def cmd_fuzz(args) -> int:
         corpus_dir=args.corpus_dir,
         max_corpus=args.max_corpus,
         tighten_slack=args.tighten_slack,
+        kernel=args.kernel,
     )
     log = (lambda msg: print(msg, file=sys.stderr)) if args.format == "text" else None
     report = fuzz(config, log=log)

@@ -1,0 +1,257 @@
+"""Execution kernels: how charged model costs become virtual-clock time.
+
+The cluster supports two interchangeable schedulers:
+
+* :class:`LockstepKernel` — the original BSP semantics.  Every charged
+  disk access advances the owning node's clock synchronously by the full
+  ``seek + transfer`` service time, and every :meth:`Cluster.step` is
+  barrier-delimited, so all clocks march in lockstep from superstep to
+  superstep.
+* :class:`EventKernel` — an event-queue scheduler.  Nodes advance
+  independently between *true* synchronization points (explicit
+  barriers and network rendezvous); there are no implicit barriers at
+  step boundaries.  Disk service is modelled per drive with a free-time
+  timeline and a pending-completion heap of ``(time, seq, rank, event)``
+  entries:
+
+  - **sequential-stream seek amortization** — a block access that
+    continues a stream (same file, next block index) pays only the
+    transfer term; the seek is charged when a stream starts or jumps.
+    This models the readahead/write-behind buffering real drives and
+    OS caches provide for the mostly sequential access patterns
+    external sorting generates (the same rationale as
+    :func:`~repro.cluster.machine.paper_cluster`'s effective seek).
+  - **write-behind** — a block write occupies the drive (its free-time
+    timeline moves forward) but does not block the node: completion is
+    pushed on the event heap and folded into the node's clock at the
+    next read on that drive (which must wait for the queue to drain)
+    or at the next synchronization point.
+
+Both kernels charge the *same I/O operations in the same order* — only
+the mapping from operations to simulated time differs.  Block and item
+counts, fault triggers, audit verdicts and the sorted output are
+therefore kernel-independent, which is what the differential harness
+(``tests/test_differential_kernel.py``) proves run by run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+
+from repro.cluster.simclock import barrier
+
+if TYPE_CHECKING:
+    from repro.cluster.node import SimNode
+    from repro.pdm.disk import SimDisk
+
+#: Registry of kernel names accepted by :func:`make_kernel`.
+KERNELS = ("event", "lockstep")
+
+
+class ExecutionKernel:
+    """Scheduling policy for a simulated cluster.
+
+    A kernel receives every charged block I/O (:meth:`on_io`) and every
+    synchronization request (:meth:`sync`), and decides how virtual
+    clocks advance.  ``step_enter`` / ``step_exit`` hook the
+    :meth:`~repro.cluster.machine.Cluster.step` boundaries; a kernel
+    that returns ``None`` from ``step_exit`` declares the boundary
+    barrier-free (no ``BarrierWait`` telemetry is emitted).
+    """
+
+    name = "base"
+
+    def attach(self, nodes: Sequence["SimNode"]) -> None:
+        """Wire the kernel into a cluster's nodes (called by Cluster)."""
+        for node in nodes:
+            node.disk.kernel = self
+
+    def on_io(
+        self,
+        disk: "SimDisk",
+        op: str,
+        n_items: int,
+        itemsize: int,
+        stream: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> float:
+        """Charge one block access; returns the recorded service time."""
+        raise NotImplementedError
+
+    def step_enter(self, nodes: Sequence["SimNode"]) -> None:
+        """Called at every step entry, before the step observers."""
+
+    def step_exit(self, nodes: Sequence["SimNode"]) -> Optional[float]:
+        """Called at every step exit; a time means a barrier happened."""
+        return None
+
+    def sync(self, nodes: Sequence["SimNode"]) -> float:
+        """True synchronization point: settle pending work, barrier."""
+        raise NotImplementedError
+
+    def node_time(self, node: "SimNode") -> float:
+        """The node's time including any not-yet-settled pending work."""
+        return node.clock.time
+
+    def reset(self) -> None:
+        """Drop pending events and stream state (cluster reset)."""
+
+
+class LockstepKernel(ExecutionKernel):
+    """The original BSP semantics: synchronous I/O, step barriers.
+
+    Timing is bit-identical to the pre-kernel simulator: every access
+    costs ``access_cost(nbytes) * slowdown / parallelism`` and advances
+    the owning clock immediately; every step is barrier-delimited.
+    """
+
+    name = "lockstep"
+
+    def on_io(
+        self,
+        disk: "SimDisk",
+        op: str,
+        n_items: int,
+        itemsize: int,
+        stream: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> float:
+        cost = (
+            disk.params.access_cost(n_items * itemsize)
+            * disk.slowdown
+            / disk.parallelism
+        )
+        if disk.observer is not None:
+            disk.observer(cost)
+        return cost
+
+    def step_enter(self, nodes: Sequence["SimNode"]) -> None:
+        barrier([n.clock for n in nodes])
+
+    def step_exit(self, nodes: Sequence["SimNode"]) -> Optional[float]:
+        return barrier([n.clock for n in nodes])
+
+    def sync(self, nodes: Sequence["SimNode"]) -> float:
+        return barrier([n.clock for n in nodes])
+
+
+class EventKernel(ExecutionKernel):
+    """Event-queue scheduler: overlap-aware I/O, no step barriers."""
+
+    name = "event"
+
+    def __init__(self) -> None:
+        #: Pending write completions: (time, seq, rank, disk_name).
+        self._pending: list[tuple[float, int, int, str]] = []
+        self._seq = 0
+        #: Per-drive free time (when the last queued access completes).
+        self._disk_free: dict[str, float] = {}
+        #: Per-(drive, stream) next sequential block offset.
+        self._streams: dict[tuple[str, str], int] = {}
+        #: Per-rank high-water mark of queued write completions.
+        self._rank_free: dict[int, float] = {}
+
+    # -- cost model --------------------------------------------------------
+
+    def _service_time(
+        self,
+        disk: "SimDisk",
+        n_items: int,
+        itemsize: int,
+        stream: Optional[str],
+        offset: Optional[int],
+    ) -> float:
+        nbytes = n_items * itemsize
+        seek = disk.params.seek_time
+        if stream is not None and offset is not None:
+            key = (disk.name, stream)
+            if self._streams.get(key) == offset:
+                seek = 0.0  # readahead/write-behind: sequential continuation
+            self._streams[key] = offset + 1
+        return (seek + nbytes / disk.params.bandwidth) * disk.slowdown / disk.parallelism
+
+    # -- I/O ---------------------------------------------------------------
+
+    def on_io(
+        self,
+        disk: "SimDisk",
+        op: str,
+        n_items: int,
+        itemsize: int,
+        stream: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> float:
+        cost = self._service_time(disk, n_items, itemsize, stream, offset)
+        owner = disk.owner
+        if owner is None:
+            # Standalone drive (no cluster): behave synchronously.
+            if disk.observer is not None:
+                disk.observer(cost)
+            return cost
+        clock = owner.clock
+        start = max(clock.time, self._disk_free.get(disk.name, 0.0))
+        end = start + cost
+        self._disk_free[disk.name] = end
+        if op == "read":
+            # The node blocks until the data is in memory — which also
+            # waits out every queued write-behind on the same drive.
+            clock.advance_to(end)
+        else:
+            # Write-behind: the drive is busy until ``end`` but the node
+            # continues; completion is settled at the next sync point.
+            self._seq += 1
+            heapq.heappush(self._pending, (end, self._seq, owner.rank, disk.name))
+            prev = self._rank_free.get(owner.rank, 0.0)
+            if end > prev:
+                self._rank_free[owner.rank] = end
+        return cost
+
+    # -- synchronization ---------------------------------------------------
+
+    def _settle(self, nodes: Sequence["SimNode"]) -> None:
+        """Fold pending write completions into the given nodes' clocks."""
+        ranks = {n.rank: n for n in nodes}
+        keep: list[tuple[float, int, int, str]] = []
+        while self._pending:
+            t, seq, rank, disk_name = heapq.heappop(self._pending)
+            node = ranks.get(rank)
+            if node is None:
+                keep.append((t, seq, rank, disk_name))
+                continue
+            node.clock.advance_to(t)
+        for entry in keep:
+            heapq.heappush(self._pending, entry)
+        for rank, node in ranks.items():
+            self._rank_free.pop(rank, None)
+
+    def sync(self, nodes: Sequence["SimNode"]) -> float:
+        self._settle(nodes)
+        return barrier([n.clock for n in nodes])
+
+    def node_time(self, node: "SimNode") -> float:
+        return max(node.clock.time, self._rank_free.get(node.rank, 0.0))
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self._disk_free.clear()
+        self._streams.clear()
+        self._rank_free.clear()
+        self._seq = 0
+
+
+def make_kernel(kernel: Union[str, ExecutionKernel]) -> ExecutionKernel:
+    """Resolve a kernel argument (name or instance) to an instance."""
+    if isinstance(kernel, ExecutionKernel):
+        return kernel
+    if kernel == "event":
+        return EventKernel()
+    if kernel == "lockstep":
+        return LockstepKernel()
+    raise ValueError(f"unknown kernel {kernel!r}; have {list(KERNELS)}")
+
+
+def settle_all(kernel: ExecutionKernel, nodes: Iterable["SimNode"]) -> None:
+    """Settle every node's pending work without a barrier (reset paths)."""
+    if isinstance(kernel, EventKernel):
+        kernel._settle(list(nodes))

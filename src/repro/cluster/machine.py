@@ -9,12 +9,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Union
 
+from repro.cluster.kernel import ExecutionKernel, make_kernel
 from repro.cluster.mpi import SimComm
 from repro.cluster.network import FAST_ETHERNET, LinkModel, Network
 from repro.cluster.node import CpuParams, SimNode
-from repro.cluster.simclock import barrier
 from repro.cluster.trace import Trace
 from repro.obs.bus import TelemetryBus
 from repro.pdm.disk import DiskParams
@@ -63,9 +63,18 @@ class ClusterSpec:
 
 
 class Cluster:
-    """A live simulated cluster built from a :class:`ClusterSpec`."""
+    """A live simulated cluster built from a :class:`ClusterSpec`.
 
-    def __init__(self, spec: ClusterSpec) -> None:
+    ``kernel`` selects the execution scheduler (see
+    :mod:`repro.cluster.kernel`): ``"event"`` (default) lets nodes
+    advance independently between true synchronization points with
+    overlap-aware disk service; ``"lockstep"`` reproduces the original
+    barrier-per-step BSP semantics bit for bit.
+    """
+
+    def __init__(
+        self, spec: ClusterSpec, kernel: Union[str, ExecutionKernel] = "event"
+    ) -> None:
         self.spec = spec
         self.nodes: list[SimNode] = [
             SimNode(
@@ -87,6 +96,10 @@ class Cluster:
         #: counters and every exported event stream.
         self.bus = TelemetryBus()
         self.network.bus = self.bus
+        #: Execution kernel: owns the cost-to-clock mapping and the
+        #: synchronization semantics of every step and barrier.
+        self.kernel = make_kernel(kernel)
+        self.kernel.attach(self.nodes)
         for node in self.nodes:
             node.disk.bus = self.bus
             node.mem.bus = self.bus
@@ -108,24 +121,29 @@ class Cluster:
         return [n.speed for n in self.nodes]
 
     def elapsed(self) -> float:
-        """Simulated wall time = the furthest node clock."""
-        return max(n.clock.time for n in self.nodes)
+        """Simulated wall time = the furthest node, pending work included."""
+        return max(self.kernel.node_time(n) for n in self.nodes)
 
     def barrier(self) -> float:
-        return barrier([n.clock for n in self.nodes])
+        """True synchronization point (settles pending work under the
+        event kernel, then jumps every clock to the maximum)."""
+        return self.kernel.sync(self.nodes)
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
-        """Barrier-delimited algorithm step; publishes step telemetry.
+        """Kernel-delimited algorithm step; publishes step telemetry.
 
-        Emits per-node ``StepBegin`` / ``StepEnd`` / ``BarrierWait``
-        events on the bus (the ``StepEnd`` records also maintain the
-        :attr:`trace` view) and attributes every event emitted inside
-        the body to ``name`` via the bus's step scope.  A body that
-        raises (an injected fault) leaves no end events, matching the
-        pre-bus trace semantics: only completed attempts are timed.
+        Emits per-node ``StepBegin`` / ``StepEnd`` events on the bus
+        (the ``StepEnd`` records also maintain the :attr:`trace` view)
+        and attributes every event emitted inside the body to ``name``
+        via the bus's step scope.  Under the lockstep kernel the step is
+        barrier-delimited and per-node ``BarrierWait`` events are
+        emitted; under the event kernel nodes flow through the boundary
+        at their own clocks.  A body that raises (an injected fault)
+        leaves no end events, matching the pre-bus trace semantics:
+        only completed attempts are timed.
         """
-        self.barrier()
+        self.kernel.step_enter(self.nodes)
         for obs in list(self.step_observers):
             obs(name)
         starts = [n.clock.time for n in self.nodes]
@@ -136,9 +154,10 @@ class Cluster:
         ends = [n.clock.time for n in self.nodes]
         for n in self.nodes:
             self.bus.record_step_end(name, n.rank, starts[n.rank], ends[n.rank])
-        t1 = self.barrier()
-        for n in self.nodes:
-            self.bus.record_barrier_wait(name, n.rank, t1, t1 - ends[n.rank])
+        t1 = self.kernel.step_exit(self.nodes)
+        if t1 is not None:
+            for n in self.nodes:
+                self.bus.record_barrier_wait(name, n.rank, t1, t1 - ends[n.rank])
 
     def io_stats(self) -> IOStats:
         """Aggregate disk counters across all nodes."""
@@ -157,6 +176,7 @@ class Cluster:
         for n in self.nodes:
             n.reset()
         self.network.reset()
+        self.kernel.reset()
         self.bus.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -200,16 +220,20 @@ class ClusterView:
     def bus(self) -> TelemetryBus:
         return self.cluster.bus
 
+    @property
+    def kernel(self) -> ExecutionKernel:
+        return self.cluster.kernel
+
     def elapsed(self) -> float:
-        return max(n.clock.time for n in self.nodes)
+        return max(self.kernel.node_time(n) for n in self.nodes)
 
     def barrier(self) -> float:
-        return barrier([n.clock for n in self.nodes])
+        return self.kernel.sync(self.nodes)
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
-        """Barrier-delimited step over the view's nodes only."""
-        self.barrier()
+        """Kernel-delimited step over the view's nodes only."""
+        self.kernel.step_enter(self.nodes)
         for obs in list(self.cluster.step_observers):
             obs(name)
         bus = self.cluster.bus
@@ -221,9 +245,10 @@ class ClusterView:
         ends = [n.clock.time for n in self.nodes]
         for start, end, n in zip(starts, ends, self.nodes):
             bus.record_step_end(name, n.rank, start, end)
-        t1 = self.barrier()
-        for end, n in zip(ends, self.nodes):
-            bus.record_barrier_wait(name, n.rank, t1, t1 - end)
+        t1 = self.kernel.step_exit(self.nodes)
+        if t1 is not None:
+            for end, n in zip(ends, self.nodes):
+                bus.record_barrier_wait(name, n.rank, t1, t1 - end)
 
     def io_stats(self) -> IOStats:
         return IOStats.merge([n.disk.stats for n in self.nodes])

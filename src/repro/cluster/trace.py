@@ -76,11 +76,26 @@ class Trace:
         self._index(e)
 
     def steps(self) -> list[str]:
-        """Step names in first-appearance order."""
-        return list(self._by_step)
+        """Step names ordered by when each step's span starts.
+
+        Arrival-order independent: under the event kernel nodes flow
+        through step boundaries at their own clocks, so events for a
+        later step on a fast node may be recorded before events of an
+        earlier step on a slow node.  Ordering by span start (ties by
+        span end) recovers the algorithmic step order regardless.
+        """
+        return sorted(self._by_step, key=lambda s: self._span[s])
 
     def for_step(self, step: str) -> list[TraceEvent]:
-        return list(self._by_step.get(step, ()))
+        """Events of one step, sorted by (t_start, t_end, node).
+
+        A canonical order rather than arrival order, so results do not
+        depend on which node's telemetry reached the bus first.
+        """
+        return sorted(
+            self._by_step.get(step, ()),
+            key=lambda e: (e.t_start, e.t_end, e.node),
+        )
 
     def step_duration(self, step: str) -> float:
         """Wall (barrier-to-barrier) duration of a step: max node interval."""

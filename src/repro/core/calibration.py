@@ -15,8 +15,9 @@ input size) timings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from repro.cluster.kernel import ExecutionKernel
 from repro.cluster.machine import Cluster, ClusterSpec
 from repro.core.perf import PerfVector
 from repro.extsort.polyphase import polyphase_sort
@@ -68,6 +69,7 @@ def calibrate(
     n_tapes: Optional[int] = None,
     seed: int = 0,
     benchmark: int | str = 0,
+    kernel: Union[str, ExecutionKernel] = "event",
 ) -> CalibrationResult:
     """Fill the perf array by timing the sequential external sort.
 
@@ -79,7 +81,7 @@ def calibrate(
     per_node = n_items // spec.p
     times: list[float] = []
     for rank in range(spec.p):
-        cluster = Cluster(spec)
+        cluster = Cluster(spec, kernel=kernel)
         cluster.reset()
         times.append(
             _sequential_sort_time(cluster, rank, per_node, block_items, n_tapes, seed, benchmark)
@@ -105,6 +107,7 @@ def sequential_sort_table(
     block_items: int = 1024,
     n_tapes: Optional[int] = None,
     benchmark: int | str = 0,
+    kernel: Union[str, ExecutionKernel] = "event",
 ) -> list[SequentialSortRow]:
     """Regenerate the Table-2 grid: per node, per size, time mean ± std."""
     if repeats < 1:
@@ -114,7 +117,7 @@ def sequential_sort_table(
         for n in sizes:
             vals = []
             for r in range(repeats):
-                cluster = Cluster(spec)
+                cluster = Cluster(spec, kernel=kernel)
                 cluster.reset()
                 vals.append(
                     _sequential_sort_time(

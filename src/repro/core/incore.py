@@ -58,11 +58,12 @@ def merge_in_memory(pieces: Sequence[np.ndarray], node: "SimNode") -> np.ndarray
     """
     if not pieces:
         raise ValueError("merge_in_memory needs at least one piece")
+    from repro.extsort.losertree import kway_merge_sorted
+
     arrs = [np.asarray(q) for q in pieces]
     total = int(sum(int(a.size) for a in arrs))
     with node.mem.reserve(total):
-        merged = np.concatenate(arrs)
-        merged.sort(kind="stable")
+        merged = kway_merge_sorted(arrs)
     node.compute(merged.size * float(np.log2(max(2, len(arrs)))))
     return merged
 

@@ -58,21 +58,71 @@ def lower_bound_offset(
     return target * sorted_file.B + within
 
 
+def _joint_lower_bounds(
+    sorted_file: BlockFile,
+    piv: np.ndarray,
+    mem: MemoryManager,
+    out: list[int],
+    plo: int,
+    phi: int,
+    blo: int,
+    bhi: int,
+) -> None:
+    """Resolve ``out[plo:phi]`` over the block range ``[blo, bhi]``.
+
+    One probe of the midpoint block answers *every* pivot in the range at
+    once: pivots below the block's last key descend left (recording the
+    in-block upper-bound cut as their current best answer, overwritten by
+    any smaller block found later), the rest descend right.  Each block
+    is read at most once per descent tree, so duplicate or clustered
+    pivots share probes — never more reads than p-1 independent binary
+    searches.  Iterative with an explicit work stack; traversal order is
+    free because an entry only ever overwrites answers recorded by its
+    own ancestors, which are popped before it.
+    """
+    work = [(plo, phi, blo, bhi)]
+    while work:
+        plo, phi, blo, bhi = work.pop()
+        if plo >= phi or blo > bhi:
+            continue
+        mid = (blo + bhi) // 2
+        with mem.reserve(sorted_file.inspect_block(mid).size):
+            blk = sorted_file.read_block(mid)
+            # Pivots strictly below the block's last key have their
+            # target (first block with last > pivot) at or before ``mid``.
+            k = plo + int(np.searchsorted(piv[plo:phi], blk[-1], side="left"))
+            if k > plo:
+                within = np.searchsorted(blk, piv[plo:k], side="right")
+                base = mid * sorted_file.B
+                for idx, w in zip(range(plo, k), within):
+                    out[idx] = base + int(w)
+        work.append((plo, k, blo, mid - 1))
+        work.append((k, phi, mid + 1, bhi))
+
+
 def partition_offsets(
     sorted_file: BlockFile, pivots: Sequence, mem: MemoryManager
 ) -> list[int]:
     """The p+1 cut offsets [0, c_1, ..., c_{p-1}, n] for p-1 pivots.
 
-    Pivots must be non-decreasing (they come from a sorted sample).
+    Pivots must be non-decreasing (they come from a sorted sample).  All
+    p-1 cuts are found by one joint memoized descent over the block tree
+    (:func:`_joint_lower_bounds`); each cut equals what
+    :func:`lower_bound_offset` would return for that pivot alone, with
+    strictly fewer block reads whenever pivots share search paths.
     """
     piv = list(pivots)
     for a, b in zip(piv, piv[1:]):
         if a > b:
             raise ValueError("pivots must be non-decreasing")
-    cuts = [0]
-    for d in piv:
-        cuts.append(lower_bound_offset(sorted_file, d, mem))
-    cuts.append(sorted_file.n_items)
+    n = sorted_file.n_items
+    out = [n] * len(piv)  # "no block has last > pivot" => everything <= pivot
+    if piv and sorted_file.n_blocks:
+        _joint_lower_bounds(
+            sorted_file, np.asarray(piv), mem, out, 0, len(piv), 0,
+            sorted_file.n_blocks - 1,
+        )
+    cuts = [0, *out, n]
     for a, b in zip(cuts, cuts[1:]):
         assert a <= b, "cut offsets must be monotone"
     return cuts

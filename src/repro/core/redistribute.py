@@ -130,17 +130,19 @@ def _chunk_size(cluster: Cluster, i: int, j: int, message_items: int, B: int) ->
 
 
 def _take_chunk(cur: RunCursor, size: int) -> np.ndarray:
-    """Gather up to ``size`` items from the cursor (spanning blocks)."""
-    parts: list[np.ndarray] = []
+    """Gather up to ``size`` items from the cursor (spanning blocks).
+
+    Fills one preallocated message buffer instead of accumulating a list
+    of per-block slices and concatenating — a single allocation per
+    message regardless of how many blocks it spans.
+    """
+    out = np.empty(size, dtype=cur.run.file.dtype)  # repro: noqa REP006(message-sized chunk; receiver reserves before writing it)
     got = 0
     while got < size and not cur.exhausted:
         part = cur.take_upto(size - got)
-        if part.size:
-            parts.append(part)
-            got += part.size
-    if not parts:
-        return np.empty(0, dtype=cur.run.file.dtype)
-    return parts[0] if len(parts) == 1 else np.concatenate(parts)  # repro: noqa REP006(message-sized chunk; receiver reserves before writing it)
+        out[got : got + part.size] = part
+        got += part.size
+    return out[:got]
 
 
 def _stream_local(

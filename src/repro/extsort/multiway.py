@@ -25,7 +25,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.extsort.losertree import LoserTree
+from repro.extsort.losertree import LoserTree, kway_merge_sorted
 from repro.pdm.blockfile import BlockFile, BlockWriter
 from repro.pdm.memory import MemoryManager
 
@@ -191,8 +191,7 @@ def merge_cursors(
         else:
             n = sum(p.size for p in parts)
             with mem.reserve(n):
-                chunk = np.concatenate(parts)
-                chunk.sort(kind="stable")  # repro: noqa REP002(k-way vector merge under reservation; charged as a merge below)
+                chunk = kway_merge_sorted(parts)  # block-frontier numpy merge
                 writer.write(chunk)
         total += chunk.size
         if compute is not None:

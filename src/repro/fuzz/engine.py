@@ -31,6 +31,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.cluster.kernel import KERNELS
 from repro.faults.plan import FaultPlan, NodeKill
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.executor import RunOutcome, ScenarioExecutor, Violation
@@ -90,10 +91,17 @@ class FuzzConfig:
     max_n: int = 1 << 16
     shrink_attempts: int = 200
     max_violations: int = 10
+    #: Execution kernel every scenario runs under (see
+    #: :mod:`repro.cluster.kernel`); the oracles are timing-free, so both
+    #: kernels must produce identical verdicts — the differential harness
+    #: in ``tests/test_differential_kernel.py`` checks exactly that.
+    kernel: str = "event"
 
     def __post_init__(self) -> None:
         if self.max_runs is None and self.time_budget is None:
             raise ValueError("need max_runs or time_budget (or both)")
+        if self.kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r} (choose from {KERNELS})")
         if self.max_runs is not None and self.max_runs < 0:
             raise ValueError(f"max_runs must be >= 0, got {self.max_runs}")
         if self.time_budget is not None and self.time_budget <= 0:
@@ -255,11 +263,14 @@ def load_case(path: str) -> FuzzCase:
 
 
 def replay_case(
-    path: str, *, executor: Optional[ScenarioExecutor] = None
+    path: str,
+    *,
+    executor: Optional[ScenarioExecutor] = None,
+    kernel: str = "event",
 ) -> ReplayResult:
     """Re-run a case file and compare the verdict to its expectation."""
     case = load_case(path)
-    executor = executor if executor is not None else ScenarioExecutor()
+    executor = executor if executor is not None else ScenarioExecutor(kernel=kernel)
     outcome = executor.run(case.scenario)
     matched, reason = _matches(case, outcome)
     return ReplayResult(case=case, outcome=outcome, matched=matched, reason=reason)
@@ -342,7 +353,9 @@ def fuzz(
     ``<corpus_dir>/corpus/``.
     """
     log = log if log is not None else (lambda _msg: None)
-    executor = executor if executor is not None else ScenarioExecutor()
+    executor = (
+        executor if executor is not None else ScenarioExecutor(kernel=config.kernel)
+    )
     rng = np.random.default_rng(config.seed)
     corpus = Corpus(max_size=config.max_corpus)
     report = FuzzReport(seed=config.seed)

@@ -26,8 +26,9 @@ like any other.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -37,6 +38,7 @@ from repro.analysis.sanitizers import (
     install_sanitizers,
     uninstall_sanitizers,
 )
+from repro.cluster.kernel import ExecutionKernel
 from repro.cluster.machine import Cluster, heterogeneous_cluster
 from repro.cluster.network import FAST_ETHERNET
 from repro.core.external_psrs import PSRSConfig, sort_array
@@ -45,7 +47,13 @@ from repro.core.theory import max_duplicate_count
 from repro.faults.plan import FaultError, RetryPolicy
 from repro.fuzz.coverage import LineCoverage
 from repro.fuzz.scenario import Scenario
-from repro.obs.audit import POLYPHASE_SLACK, AuditReport, RunMeta, audit_run
+from repro.obs.audit import (
+    POLYPHASE_SLACK,
+    AuditReport,
+    RunMeta,
+    audit_run,
+    collect_step_io,
+)
 from repro.workloads.generators import make_benchmark
 from repro.workloads.records import verify_sorted_permutation
 
@@ -93,6 +101,13 @@ class RunOutcome:
     #: Simulated (virtual-clock) seconds of the sort, when it finished.
     sim_elapsed: float = 0.0
     n_sorted: int = 0
+    #: sha256 of the sorted output bytes — kernel-independent fingerprint
+    #: used by the differential harness (empty when the sort didn't finish).
+    output_digest: str = ""
+    #: Per-(step, node) I/O counters folded to hashable tuples:
+    #: ``(step, node, blocks_read, blocks_written, items_read,
+    #: items_written)``.  Timing-free, so identical across kernels.
+    io_counters: frozenset = frozenset()
 
     @property
     def is_violation(self) -> bool:
@@ -114,8 +129,13 @@ class _NoCoverage:
 class ScenarioExecutor:
     """Runs scenarios; stateless between runs (safe to reuse)."""
 
-    def __init__(self, collect_coverage: bool = True) -> None:
+    def __init__(
+        self,
+        collect_coverage: bool = True,
+        kernel: Union[str, ExecutionKernel] = "event",
+    ) -> None:
         self.collect_coverage = collect_coverage
+        self.kernel = kernel
 
     def run(self, scenario: Scenario) -> RunOutcome:
         scenario.validate()
@@ -129,7 +149,8 @@ class ScenarioExecutor:
                 [float(v) for v in perf.values],
                 memory_items=scenario.memory_items,
                 link=FAST_ETHERNET,
-            )
+            ),
+            kernel=self.kernel,
         )
         cluster.bus.set_level("full")
         cfg = PSRSConfig(
@@ -155,6 +176,7 @@ class ScenarioExecutor:
         worst_ratio = 0.0
         sim_elapsed = 0.0
         n_sorted = 0
+        output_digest = ""
         res = None
         report: Optional[AuditReport] = None
 
@@ -193,6 +215,8 @@ class ScenarioExecutor:
                 if violation is None and res is not None:
                     sim_elapsed = res.elapsed
                     n_sorted = res.n_items
+                    out = np.ascontiguousarray(res.to_array())
+                    output_digest = hashlib.sha256(out.tobytes()).hexdigest()
                     if res.faults.degraded:
                         # rescaled shares: Algorithm-1 bounds don't apply
                         status = "degraded"
@@ -240,7 +264,18 @@ class ScenarioExecutor:
             trips=tuple(san.trips),
             sim_elapsed=sim_elapsed,
             n_sorted=n_sorted,
+            output_digest=output_digest,
+            io_counters=_io_counters(cluster),
         )
+
+
+def _io_counters(cluster: Cluster) -> frozenset:
+    """Fold the bus's block I/O events into hashable per-cell tuples."""
+    cells = collect_step_io(cluster.bus.events)
+    return frozenset(
+        (step, node, c.blocks_read, c.blocks_written, c.items_read, c.items_written)
+        for (step, node), c in cells.items()
+    )
 
 
 def _signature(cluster: Cluster, perf: PerfVector) -> frozenset:

@@ -32,7 +32,7 @@ DTYPES: tuple[str, ...] = ("uint16", "uint32", "int32", "uint64")
 PIVOT_METHODS: tuple[str, ...] = ("regular", "random", "quantile")
 
 MIN_N, MAX_N = 64, 1 << 20
-MAX_P = 8
+MAX_P = 16
 MAX_PERF = 8
 MIN_BLOCK, MAX_BLOCK = 16, 1024
 #: Polyphase external merging needs at least 3 block buffers in core.

@@ -23,24 +23,36 @@ from repro.pdm.disk import SimDisk
 from repro.pdm.memory import MemoryManager
 
 
-def _charged_write(disk: SimDisk, n_items: int, itemsize: int) -> None:
+def _charged_write(
+    disk: SimDisk,
+    n_items: int,
+    itemsize: int,
+    stream: Optional[str] = None,
+    offset: Optional[int] = None,
+) -> None:
     """One block write, sanitizer-bracketed (charged exactly once)."""
     san = active_sanitizer()
     if san is None:
-        disk.charge_write(n_items, itemsize)
+        disk.charge_write(n_items, itemsize, stream=stream, offset=offset)
         return
     with san.expect_block_charge(disk, "write"):
-        disk.charge_write(n_items, itemsize)
+        disk.charge_write(n_items, itemsize, stream=stream, offset=offset)
 
 
-def _charged_read(disk: SimDisk, n_items: int, itemsize: int) -> None:
+def _charged_read(
+    disk: SimDisk,
+    n_items: int,
+    itemsize: int,
+    stream: Optional[str] = None,
+    offset: Optional[int] = None,
+) -> None:
     """One block read, sanitizer-bracketed (charged exactly once)."""
     san = active_sanitizer()
     if san is None:
-        disk.charge_read(n_items, itemsize)
+        disk.charge_read(n_items, itemsize, stream=stream, offset=offset)
         return
     with san.expect_block_charge(disk, "read"):
-        disk.charge_read(n_items, itemsize)
+        disk.charge_read(n_items, itemsize, stream=stream, offset=offset)
 
 
 class BlockFile:
@@ -128,7 +140,13 @@ class BlockFile:
                 f"file {self.name!r} already ends in a partial block; "
                 "blocks must be packed compactly"
             )
-        _charged_write(self.disk, arr.size, self.itemsize)
+        _charged_write(
+            self.disk,
+            arr.size,
+            self.itemsize,
+            stream=self.name,
+            offset=len(self._block_sizes),
+        )
         self._store_append(arr)
         self._block_sizes.append(arr.size)
         self._n_items += arr.size
@@ -136,7 +154,7 @@ class BlockFile:
     def read_block(self, index: int) -> np.ndarray:
         """Read block ``index``.  Charges one block read."""
         blk = self._store_load(index)  # IndexError propagates
-        _charged_read(self.disk, blk.size, self.itemsize)
+        _charged_read(self.disk, blk.size, self.itemsize, stream=self.name, offset=index)
         return blk.copy()
 
     def clear(self) -> None:

@@ -25,6 +25,7 @@ from repro.pdm.stats import IOStats
 if TYPE_CHECKING:
     import numpy as np
 
+    from repro.cluster.kernel import ExecutionKernel
     from repro.cluster.node import SimNode
     from repro.obs.bus import TelemetryBus
     from repro.pdm.blockfile import BlockFile
@@ -131,6 +132,10 @@ class SimDisk:
         #: block I/O is published as a ``BlockRead``/``BlockWrite`` event
         #: and attributed, via ``stats.bump``, to the bus's current step.
         self.bus: Optional["TelemetryBus"] = None
+        #: Execution kernel (wired by the owning Cluster).  When set it
+        #: owns the cost-to-clock mapping of every charged access; a
+        #: standalone disk falls back to the synchronous legacy model.
+        self.kernel: Optional["ExecutionKernel"] = None
         self._file_counter = 0
 
     def next_file_name(self, prefix: str = "f") -> str:
@@ -156,42 +161,73 @@ class SimDisk:
 
         return BlockFile(self, B, dtype, name=name)
 
-    def charge_read(self, n_items: int, itemsize: int) -> float:
-        """Account one block read of ``n_items`` items; returns its cost."""
+    def charge_read(
+        self,
+        n_items: int,
+        itemsize: int,
+        stream: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> float:
+        """Account one block read of ``n_items`` items; returns its cost.
+
+        ``stream`` / ``offset`` optionally identify the access as block
+        ``offset`` of file ``stream`` so an attached execution kernel can
+        detect sequential continuation (seek amortization); block counts
+        and fault triggers are independent of them.
+        """
         san = active_sanitizer()
         if san is not None:
             san.on_disk_charge(self, "read", n_items, itemsize)
         if self.fault_hook is not None:
             self.fault_hook(self, "read", n_items, itemsize)
-        cost = (
-            self.params.access_cost(n_items * itemsize)
-            * self.slowdown
-            / self.parallelism
-        )
+        cost = self._serve("read", n_items, itemsize, stream, offset)
         self.stats.record_read(n_items, cost)
-        if self.observer is not None:
-            self.observer(cost)
         if self.bus is not None:
             self._publish("read", n_items, itemsize, cost)
         return cost
 
-    def charge_write(self, n_items: int, itemsize: int) -> float:
+    def charge_write(
+        self,
+        n_items: int,
+        itemsize: int,
+        stream: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> float:
         """Account one block write of ``n_items`` items; returns its cost."""
         san = active_sanitizer()
         if san is not None:
             san.on_disk_charge(self, "write", n_items, itemsize)
         if self.fault_hook is not None:
             self.fault_hook(self, "write", n_items, itemsize)
+        cost = self._serve("write", n_items, itemsize, stream, offset)
+        self.stats.record_write(n_items, cost)
+        if self.bus is not None:
+            self._publish("write", n_items, itemsize, cost)
+        return cost
+
+    def _serve(
+        self,
+        op: str,
+        n_items: int,
+        itemsize: int,
+        stream: Optional[str],
+        offset: Optional[int],
+    ) -> float:
+        """Map one access to simulated time via the attached kernel.
+
+        Without a kernel (standalone drives, unit tests) the legacy
+        synchronous model applies: full ``seek + transfer`` service time,
+        observer (the owning clock) advanced immediately.
+        """
+        if self.kernel is not None:
+            return self.kernel.on_io(self, op, n_items, itemsize, stream, offset)
         cost = (
             self.params.access_cost(n_items * itemsize)
             * self.slowdown
             / self.parallelism
         )
-        self.stats.record_write(n_items, cost)
         if self.observer is not None:
             self.observer(cost)
-        if self.bus is not None:
-            self._publish("write", n_items, itemsize, cost)
         return cost
 
     def _publish(self, op: str, n_items: int, itemsize: int, cost: float) -> None:

@@ -131,3 +131,34 @@ class TestTrace:
         t.record("phase1", 0, 0.0, 1.0)
         out = t.render()
         assert "phase1" in out and "duration" in out
+
+    def test_queries_are_arrival_order_insensitive(self):
+        """Event-kernel regression: nodes flow through step boundaries at
+        their own clocks, so the bus can record a fast node's step-2
+        interval before a slow node's step-1 interval.  Every Trace query
+        must be a function of the event *set*, not the arrival order."""
+        intervals = [
+            ("sort", 0, 0.0, 2.0),
+            ("sort", 1, 1.0, 4.0),
+            ("merge", 0, 2.0, 5.0),
+            ("merge", 1, 4.0, 6.0),
+            ("merge", 2, 4.5, 4.5),
+        ]
+        in_order = Trace()
+        shuffled = Trace()
+        for rec in intervals:
+            in_order.record(*rec)
+        # Worst-case arrival: later steps and nodes first.
+        for rec in reversed(intervals):
+            shuffled.record(*rec)
+        assert shuffled.steps() == in_order.steps() == ["sort", "merge"]
+        assert shuffled.for_step("merge") == in_order.for_step("merge")
+        assert shuffled.summary() == in_order.summary()
+        for step in ("sort", "merge"):
+            assert shuffled.step_duration(step) == in_order.step_duration(step)
+            assert shuffled.imbalance(step) == in_order.imbalance(step)
+            for node in range(3):
+                assert shuffled.node_busy(step, node) == in_order.node_busy(
+                    step, node
+                )
+        assert shuffled.render() == in_order.render()

@@ -18,11 +18,12 @@ from repro.workloads.generators import make_benchmark
 from repro.workloads.records import is_sorted, verify_sorted_permutation
 
 
-def _run(perf_vals, n, seed=0, speeds=None, memory=4096, benchmark=0, **cfg_kw):
+def _run(perf_vals, n, seed=0, speeds=None, memory=4096, benchmark=0,
+         kernel="event", **cfg_kw):
     perf = PerfVector(perf_vals)
     n = perf.nearest_exact(n)
     speeds = speeds if speeds is not None else [float(v) for v in perf_vals]
-    cluster = Cluster(heterogeneous_cluster(speeds, memory_items=memory))
+    cluster = Cluster(heterogeneous_cluster(speeds, memory_items=memory), kernel=kernel)
     data = make_benchmark(benchmark, n, seed=seed)
     cfg = PSRSConfig(block_items=cfg_kw.pop("block_items", 128),
                      message_items=cfg_kw.pop("message_items", 1024), **cfg_kw)
@@ -121,18 +122,31 @@ class TestCostModel:
 
     def test_local_sort_dominates(self):
         """The paper's premise: the sort is I/O-bound in steps 1/5, not
-        communication-bound."""
-        _, res, _ = _run([1, 1, 1, 1], 40_000, message_items=8192)
+        communication-bound.
+
+        Pinned to the lockstep kernel: the paper's per-step times are
+        barrier-to-barrier BSP intervals, and under the event kernel a
+        step's span also absorbs the clock drift of whichever node
+        reaches its first rendezvous last.
+        """
+        _, res, _ = _run([1, 1, 1, 1], 40_000, message_items=8192,
+                         kernel="lockstep")
         comm_heavy = res.step_times["2:pivots"]
         assert res.step_times["1:local-sort"] > 5 * comm_heavy
 
     def test_hetero_aware_beats_homogeneous_on_loaded_cluster(self):
-        """Table 3's central comparison, at reduced scale."""
+        """Table 3's central comparison, at reduced scale.
+
+        Lockstep kernel: the paper's 1.96x ratio is measured between
+        barrier-delimited runs; overlap-aware scheduling narrows it (the
+        misassigned run hides more of its imbalance), which is the event
+        kernel's point, not a regression of this claim.
+        """
         n = PerfVector([1, 1, 4, 4]).nearest_exact(40_000)
         data = make_benchmark(0, n, seed=3)
         times = {}
         for vals in ((1, 1, 1, 1), (4, 4, 1, 1)):
-            cluster = Cluster(paper_cluster(memory_items=4096))
+            cluster = Cluster(paper_cluster(memory_items=4096), kernel="lockstep")
             res = sort_array(
                 cluster,
                 PerfVector(list(vals)),
@@ -154,7 +168,10 @@ class TestCostModel:
         times = []
         for link_spec in (paper_cluster(memory_items=4096),
                           paper_cluster(memory_items=4096, link=MYRINET)):
-            cluster = Cluster(link_spec)
+            # Lockstep: the paper's network comparison is BSP-delimited;
+            # under the event kernel transfer waits overlap with disk
+            # service, shifting the (still small) network share.
+            cluster = Cluster(link_spec, kernel="lockstep")
             res = sort_array(
                 cluster,
                 PerfVector([4, 4, 1, 1]),

@@ -287,7 +287,8 @@ class TestSimCommEdgeCases:
 
 class TestCluster:
     def test_step_records_trace(self):
-        c = Cluster(homogeneous_cluster(2))
+        # Lockstep: this test asserts the barrier-per-step contract.
+        c = Cluster(homogeneous_cluster(2), kernel="lockstep")
         with c.step("work"):
             c.nodes[0].compute(10**6)
         assert c.trace.steps() == ["work"]

@@ -2,6 +2,7 @@
 
 import json
 import pathlib
+import pytest
 
 from repro.cluster.machine import Cluster, heterogeneous_cluster
 from repro.core.external_psrs import PSRSConfig, sort_array
@@ -123,12 +124,14 @@ class TestPrometheus:
 
 
 class TestRealRunTrace:
-    def test_sorted_run_has_five_step_spans_per_node(self):
+    @pytest.mark.parametrize("kernel", ["event", "lockstep"])
+    def test_sorted_run_has_five_step_spans_per_node(self, kernel):
         perf = PerfVector([1, 1, 4, 4])
         n = perf.nearest_exact(16_000)
         data = make_benchmark(0, n, seed=0)
         cluster = Cluster(
-            heterogeneous_cluster([1.0, 1.0, 4.0, 4.0], memory_items=2048)
+            heterogeneous_cluster([1.0, 1.0, 4.0, 4.0], memory_items=2048),
+            kernel=kernel,
         )
         cluster.bus.set_level("io")
         sort_array(

@@ -8,11 +8,11 @@ from repro.core.perf import PerfVector
 from repro.workloads.generators import make_benchmark
 
 
-def _run(perf_vals, speeds, n=16_000, **cfg):
+def _run(perf_vals, speeds, n=16_000, kernel="event", **cfg):
     perf = PerfVector(perf_vals)
     n = perf.nearest_exact(n)
     data = make_benchmark(0, n, seed=0)
-    cluster = Cluster(heterogeneous_cluster(speeds, memory_items=2048))
+    cluster = Cluster(heterogeneous_cluster(speeds, memory_items=2048), kernel=kernel)
     res = sort_array(
         cluster,
         perf,
@@ -76,7 +76,11 @@ class TestStepIO:
 
 class TestTraceBalance:
     def test_correct_perf_balances_every_step(self):
-        cluster, _ = _run([4, 4, 1, 1], [4.0, 4.0, 1.0, 1.0], n=32_000)
+        # Lockstep: per-step busy balance is a BSP attribution property;
+        # under the event kernel a step's interval also absorbs queueing
+        # behind the node's own write-behind from earlier steps.
+        cluster, _ = _run([4, 4, 1, 1], [4.0, 4.0, 1.0, 1.0], n=32_000,
+                          kernel="lockstep")
         for step in ("1:local-sort", "3:partition", "5:final-merge"):
             assert cluster.trace.imbalance(step) < 1.35
 
