@@ -11,6 +11,8 @@ workloads   list the 8 input benchmarks
 lint        simulation-invariant static analysis (REP001..REP008)
 audit       replay a saved telemetry JSONL log through the bounds auditor
 fuzz        coverage-guided scenario fuzzing with the auditor as oracle
+profile     critical-path/blame profile of a saved run, with what-if predictions
+bench       benchmark-artifact tools (report: regression check with blame)
 """
 
 from __future__ import annotations
@@ -99,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check measured per-step I/O against the paper bounds "
         "(exit 1 on violation)",
+    )
+    p_sort.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture full telemetry and print the critical-path/blame "
+        "profile with the summary",
     )
     p_sort.add_argument(
         "--format",
@@ -219,6 +227,72 @@ def build_parser() -> argparse.ArgumentParser:
         "are kernel-independent; see tests/test_differential_kernel.py)",
     )
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="critical-path/blame profile of a saved run",
+        description="Reconstructs the happens-before timeline of a JSONL "
+        "event log written by 'repro sort --events' (ideally with "
+        "--profile for full capture), extracts the critical path and the "
+        "per-(step, node) blame decomposition, and optionally predicts "
+        "elapsed time under hypothetical hardware changes without "
+        "re-running.",
+    )
+    p_prof.add_argument("events_file", help="JSONL log from 'repro sort --events'")
+    p_prof.add_argument(
+        "--what-if",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="predict elapsed under a change, e.g. 'perf=1,1,8,8', "
+        "'disks=4', 'net=myrinet', 'net.latency=1e-3', 'block=512'; "
+        "clauses combine with ';', flag repeats",
+    )
+    p_prof.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace JSON with the critical path "
+        "highlighted on its own track",
+    )
+    p_prof.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark-artifact tools (see 'repro bench report')"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_brep = bench_sub.add_parser(
+        "report",
+        help="regression report over the keyed BENCH_sort.json artifact",
+        description="Reads the keyed run list (repro-bench-sort/2) and "
+        "compares each configuration's elapsed time against its best "
+        "recorded; regressions beyond --factor are flagged with the step "
+        "that moved most and that step's dominant blame component. "
+        "Exit 1 when any configuration regressed.",
+    )
+    p_brep.add_argument(
+        "bench_file",
+        nargs="?",
+        default="BENCH_sort.json",
+        help="keyed benchmark artifact (default: BENCH_sort.json)",
+    )
+    p_brep.add_argument(
+        "--factor",
+        type=float,
+        default=1.2,
+        help="flag runs slower than FACTOR x their best recorded (default 1.2)",
+    )
+    p_brep.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report here (CI artifact)",
+    )
+    p_brep.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+
     from repro.analysis.cli import add_lint_arguments
 
     p_lint = sub.add_parser(
@@ -264,7 +338,7 @@ def cmd_sort(args) -> int:
         ),
         kernel=args.kernel,
     )
-    if args.events:
+    if args.events or args.profile:
         cluster.bus.set_level("full")
     elif args.trace or args.audit:
         cluster.bus.set_level("io")
@@ -285,6 +359,11 @@ def cmd_sort(args) -> int:
         seed=args.seed,
     )
     res = sort_array(cluster, perf, data, cfg, faults=plan, retry=retry)
+    # Profile before gathering: the event stream then ends exactly at the
+    # final barrier, so the reconstructed elapsed matches res.elapsed.
+    from repro.obs.profiler import RunProfile
+
+    prof = RunProfile.from_cluster(cluster, block_items=args.block)
     verify_sorted_permutation(data, res.to_array())
 
     report = None
@@ -302,10 +381,19 @@ def cmd_sort(args) -> int:
             pivot_method=args.pivot_method,
         )
         if args.events:
-            write_jsonl(args.events, cluster.bus.events, meta.to_dict())
+            write_jsonl(
+                args.events,
+                cluster.bus.events,
+                {**meta.to_dict(), "hw": prof.hw.to_dict()},
+            )
         if args.trace:
             names = {node.rank: node.name for node in cluster.nodes}
-            write_chrome_trace(args.trace, cluster.bus.events, names)
+            write_chrome_trace(
+                args.trace,
+                cluster.bus.events,
+                names,
+                critical=prof.critical.segments if args.profile else None,
+            )
         if args.audit:
             report = audit_run(cluster.bus.events, meta)
 
@@ -320,6 +408,10 @@ def cmd_sort(args) -> int:
             "elapsed_seconds": res.elapsed,
             "s_max": res.s_max,
             "step_seconds": dict(res.step_times),
+            # Wall-time analogue of the item-count skew s_max: per-step
+            # max/mean of the nodes' recorded span lengths.
+            "step_time_skew": {sb.step: sb.time_skew for sb in prof.blame.steps},
+            "blame": prof.blame.to_dict(),
             "io": {
                 "blocks_read": res.io.blocks_read,
                 "blocks_written": res.io.blocks_written,
@@ -339,6 +431,8 @@ def cmd_sort(args) -> int:
                 "backoff_seconds": res.faults.backoff_time,
             },
         }
+        if args.profile:
+            summary["critical_path"] = prof.critical.to_dict()
         if report is not None:
             summary["audit"] = report.to_dict()
         print(json.dumps(summary, indent=2, sort_keys=False))
@@ -347,6 +441,8 @@ def cmd_sort(args) -> int:
         print(f"simulated time: {res.elapsed:.3f} s   S(max): {res.s_max:.4f}")
         for step, t in res.step_times.items():
             print(f"  {step:<18} {t:9.4f} s")
+        if args.profile:
+            print(_render_profile(prof))
         print(
             f"I/O blocks r/w: {res.io.blocks_read}/{res.io.blocks_written}   "
             f"network: {res.network_messages} msgs / {res.network_bytes} bytes"
@@ -405,6 +501,161 @@ def cmd_audit(args) -> int:
             print(conformance.table().render())
     ok = report.ok and (conformance is None or conformance.ok)
     return 0 if ok else 1
+
+
+def _render_profile(prof, whatifs=()) -> str:
+    """Text rendering of a RunProfile (used by sort --profile and profile)."""
+    from repro.metrics.report import Table
+
+    cp = prof.critical
+    lines = [
+        f"critical path: {cp.total:.3f} s over {len(cp.segments)} segments "
+        f"({'complete' if cp.complete else 'INCOMPLETE'}; "
+        f"run elapsed {prof.elapsed:.3f} s)",
+        "  by component: "
+        + "  ".join(f"{c}={v:.3f}s" for c, v in sorted(cp.by_component.items()) if v > 0),
+        f"straggler index: {prof.blame.straggler_index:.3f} "
+        f"(max/mean productive time; paper's item bound: "
+        f"{prof.blame.straggler_reference:g}x)",
+        "run totals (all nodes): "
+        + "  ".join(
+            f"{c}={prof.blame.totals.get(c, 0.0):.3f}s"
+            for c in ("compute", "disk", "net", "barrier", "other")
+        ),
+    ]
+    if not prof.timeline.has_compute:
+        lines.append(
+            "note: log lacks compute events (capture level below 'full'); "
+            "compute time reports as 'other'"
+        )
+    blame = Table(
+        "per-step blame",
+        ["step", "span(max)", "skew", "dominant", "compute", "disk", "net", "barrier", "other"],
+    )
+    for sb in prof.blame.steps:
+        totals = sb.totals()
+        blame.add_row(
+            sb.step,
+            sb.span_max,
+            sb.time_skew,
+            sb.dominant(),
+            totals["compute"],
+            totals["disk"],
+            totals["net"],
+            totals["barrier"],
+            totals["other"],
+        )
+    lines.append(blame.render())
+    if whatifs:
+        wi = Table(
+            "what-if predictions",
+            ["scenario", "predicted (s)", "recorded (s)", "speedup", "fidelity"],
+        )
+        for w in whatifs:
+            wi.add_row(
+                w.scenario,
+                w.predicted_elapsed,
+                w.recorded_elapsed,
+                f"{w.speedup:.2f}x",
+                "approx" if w.approximate else "exact-seq",
+            )
+        lines.append(wi.render())
+    return "\n".join(lines)
+
+
+def cmd_profile(args) -> int:
+    import json
+
+    from repro.obs.exporters import read_jsonl, write_chrome_trace
+    from repro.obs.profiler import WhatIfError, profile_from_jsonl_meta
+
+    meta_dict, events = read_jsonl(args.events_file)
+    if not events:
+        print(f"error: {args.events_file} contains no events", file=sys.stderr)
+        return 2
+    prof = profile_from_jsonl_meta(meta_dict, events)
+    if meta_dict is None or "hw" not in meta_dict:
+        print(
+            "warning: log has no 'hw' metadata (written by older versions); "
+            "what-ifs assume the stock hardware model",
+            file=sys.stderr,
+        )
+    try:
+        whatifs = [prof.what_if(spec) for spec in (args.what_if or [])]
+    except WhatIfError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.trace:
+        write_chrome_trace(
+            args.trace, events, critical=prof.critical.segments
+        )
+    if args.format == "json":
+        payload = prof.to_dict()
+        payload["command"] = "profile"
+        payload["events_file"] = args.events_file
+        if whatifs:
+            payload["what_if"] = [w.to_dict() for w in whatifs]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(_render_profile(prof, whatifs))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.metrics.bench import BenchFormatError, load_bench, report_rows
+
+    # Only one sub-action today; argparse enforces bench_command.
+    try:
+        doc = load_bench(args.bench_file)
+    except BenchFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = report_rows(doc, factor=args.factor)
+    regressions = [r for r in rows if r["regressed"]]
+    payload = {
+        "command": "bench-report",
+        "bench_file": args.bench_file,
+        "factor": args.factor,
+        "n_runs": len(rows),
+        "n_regressions": len(regressions),
+        "runs": rows,
+    }
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        from repro.metrics.report import Table
+
+        table = Table(
+            f"bench report ({args.bench_file}, factor {args.factor:g}x)",
+            ["key", "elapsed (s)", "best (s)", "ratio", "verdict", "blamed step"],
+        )
+        for r in rows:
+            blamed = (
+                f"{r['blamed_step']} [{r['blamed_component']}]"
+                if r["regressed"] and r["blamed_step"]
+                else ""
+            )
+            table.add_row(
+                r["key"],
+                r["elapsed_seconds"],
+                r["best_elapsed_seconds"],
+                f"{r['ratio']:.2f}",
+                "REGRESSED" if r["regressed"] else "ok",
+                blamed,
+            )
+        print(table.render())
+        if regressions:
+            print(
+                f"{len(regressions)} configuration(s) regressed beyond "
+                f"{args.factor:g}x their best recorded time"
+            )
+    return 1 if regressions else 0
 
 
 def cmd_calibrate(args) -> int:
@@ -574,6 +825,8 @@ _COMMANDS = {
     "lint": cmd_lint,
     "audit": cmd_audit,
     "fuzz": cmd_fuzz,
+    "profile": cmd_profile,
+    "bench": cmd_bench,
 }
 
 

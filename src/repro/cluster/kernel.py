@@ -193,6 +193,9 @@ class EventKernel(ExecutionKernel):
         start = max(clock.time, self._disk_free.get(disk.name, 0.0))
         end = start + cost
         self._disk_free[disk.name] = end
+        # Expose the drive-timeline busy interval [start, end] to the
+        # telemetry bus: the disk publishes it as the event's ``queued``.
+        disk.last_queued = start
         if op == "read":
             # The node blocks until the data is in memory — which also
             # waits out every queued write-behind on the same drive.
@@ -231,6 +234,10 @@ class EventKernel(ExecutionKernel):
 
     def node_time(self, node: "SimNode") -> float:
         return max(node.clock.time, self._rank_free.get(node.rank, 0.0))
+
+    def drive_free_times(self) -> dict[str, float]:
+        """Per-drive timeline snapshot: when each drive's queue drains."""
+        return dict(self._disk_free)
 
     def reset(self) -> None:
         self._pending.clear()

@@ -62,6 +62,18 @@ class ClusterSpec:
         )
 
 
+def _synced_barrier(
+    kernel: ExecutionKernel, nodes: Sequence[SimNode], bus: TelemetryBus
+) -> float:
+    """Kernel sync with per-participant ``BarrierWait`` telemetry."""
+    before = [kernel.node_time(n) for n in nodes]
+    t1 = kernel.sync(nodes)
+    name = bus.current_step or "sync"
+    for n, t0 in zip(nodes, before):
+        bus.record_barrier_wait(name, n.rank, t1, t1 - t0)
+    return t1
+
+
 class Cluster:
     """A live simulated cluster built from a :class:`ClusterSpec`.
 
@@ -103,6 +115,7 @@ class Cluster:
         for node in self.nodes:
             node.disk.bus = self.bus
             node.mem.bus = self.bus
+            node.bus = self.bus
         #: Callbacks fired (with the step name) at the start of every
         #: :meth:`step`; the fault injector's node kills are raised here.
         self.step_observers: list = []
@@ -126,8 +139,15 @@ class Cluster:
 
     def barrier(self) -> float:
         """True synchronization point (settles pending work under the
-        event kernel, then jumps every clock to the maximum)."""
-        return self.kernel.sync(self.nodes)
+        event kernel, then jumps every clock to the maximum).
+
+        Emits one ``BarrierWait`` per participant — the wait is measured
+        from the node's *pending-work-inclusive* time, so write-behind
+        that is still draining counts as busy, not idle.  These events
+        are what gives the profiler explicit rendezvous points under the
+        event kernel (step boundaries are barrier-free there).
+        """
+        return _synced_barrier(self.kernel, self.nodes, self.bus)
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
@@ -228,7 +248,7 @@ class ClusterView:
         return max(self.kernel.node_time(n) for n in self.nodes)
 
     def barrier(self) -> float:
-        return self.kernel.sync(self.nodes)
+        return _synced_barrier(self.kernel, self.nodes, self.bus)
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:

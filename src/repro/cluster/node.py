@@ -13,11 +13,14 @@ forking load onto some nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.simclock import VirtualClock
 from repro.pdm.disk import DiskParams, SimDisk
 from repro.pdm.memory import MemoryManager
+
+if TYPE_CHECKING:
+    from repro.obs.bus import TelemetryBus
 
 
 @dataclass(frozen=True)
@@ -97,6 +100,11 @@ class SimNode:
             parallelism=n_disks,
         )
         self.disk.owner = self  # sanitizer node-isolation checks
+        #: Telemetry bus (wired by the owning Cluster); charged CPU work
+        #: is published as ``Compute`` events at capture level "full",
+        #: which is what lets the profiler re-cost it under a different
+        #: perf vector.
+        self.bus: Optional["TelemetryBus"] = None
         self.ops_charged = 0.0
         #: False once the node is declared dead by fault injection.  Its
         #: clock stops being part of barriers; its disk remains readable
@@ -116,7 +124,12 @@ class SimNode:
         if ops < 0:
             raise ValueError(f"ops must be >= 0, got {ops}")
         self.ops_charged += ops
-        self.clock.advance(ops * self.cpu.seconds_per_op / self.speed)
+        seconds = ops * self.cpu.seconds_per_op / self.speed
+        self.clock.advance(seconds)
+        if self.bus is not None:
+            self.bus.record_compute(
+                node=self.rank, t=self.clock.time, seconds=seconds, ops=ops
+            )
 
     def reset(self) -> None:
         """Zero the clock and counters (e.g. after untimed input setup)."""

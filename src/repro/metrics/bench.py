@@ -120,3 +120,70 @@ def get_run(doc: Mapping[str, object], key: str) -> Optional[dict]:
         if entry.get("key") == key:
             return entry
     return None
+
+
+def _worst_step(entry: Mapping[str, object]) -> tuple[str, float]:
+    """The step that regressed most vs. the best recorded run.
+
+    Compares ``step_seconds`` against ``best_step_seconds`` and returns
+    ``(step, delta)`` for the largest positive delta.  Older entries
+    without a best-step record fall back to the largest absolute step —
+    still a useful pointer, just not a differential one.
+    """
+    steps = entry.get("step_seconds")
+    if not isinstance(steps, Mapping) or not steps:
+        return "", 0.0
+    best_steps = entry.get("best_step_seconds")
+    if isinstance(best_steps, Mapping) and best_steps:
+        worst, delta = "", 0.0
+        for step, t in steps.items():
+            d = float(t) - float(best_steps.get(step, t))  # type: ignore[arg-type]
+            if d > delta:
+                worst, delta = step, d
+        if worst:
+            return worst, delta
+    worst = max(steps, key=lambda s: float(steps[s]))  # type: ignore[arg-type]
+    return worst, 0.0
+
+
+def _blamed_component(entry: Mapping[str, object], step: str) -> str:
+    """Dominant blame component of ``step``, from the entry's profiler
+    blame summary (``repro sort --format json``); "unknown" for entries
+    recorded before blame summaries existed."""
+    blame = entry.get("blame")
+    if isinstance(blame, Mapping):
+        for sb in blame.get("steps", ()):  # type: ignore[union-attr]
+            if isinstance(sb, Mapping) and sb.get("step") == step:
+                return str(sb.get("dominant", "unknown"))
+    return "unknown"
+
+
+def report_rows(doc: Mapping[str, object], factor: float = 1.2) -> list[dict]:
+    """Regression analysis of every run in a keyed artifact.
+
+    One row per configuration: its elapsed time against the best ever
+    recorded, whether it regressed by more than ``factor``, and — when
+    it did — which step moved most and which blame component dominates
+    that step.  This is what ``repro bench report`` renders.
+    """
+    rows: list[dict] = []
+    for entry in doc.get("runs", ()):  # type: ignore[union-attr]
+        elapsed = float(entry.get("elapsed_seconds", 0.0))
+        raw_best = entry.get("best_elapsed_seconds")
+        best = float(raw_best) if isinstance(raw_best, (int, float)) else elapsed
+        ratio = elapsed / best if best > 0 else 1.0
+        regressed = best > 0 and elapsed > factor * best
+        step, delta = _worst_step(entry)
+        rows.append(
+            {
+                "key": str(entry.get("key", "")),
+                "elapsed_seconds": elapsed,
+                "best_elapsed_seconds": best,
+                "ratio": ratio,
+                "regressed": regressed,
+                "blamed_step": step,
+                "blamed_step_delta_seconds": delta,
+                "blamed_component": _blamed_component(entry, step),
+            }
+        )
+    return rows

@@ -31,6 +31,7 @@ from repro.obs.events import (
     BarrierWait,
     BlockRead,
     BlockWrite,
+    Compute,
     Event,
     FaultInjected,
     MemRelease,
@@ -75,6 +76,11 @@ class TelemetryBus:
     @property
     def captures_memory(self) -> bool:
         """True when memory reserve/release events are recorded."""
+        return self._level >= 2
+
+    @property
+    def captures_compute(self) -> bool:
+        """True when charged CPU work is recorded (profiler replay input)."""
         return self._level >= 2
 
     # -- step attribution --------------------------------------------------
@@ -141,6 +147,9 @@ class TelemetryBus:
         n_items: int,
         itemsize: int,
         cost: float,
+        queued: float = -1.0,
+        stream: str = "",
+        offset: int = -1,
     ) -> None:
         if not self.captures_io:
             return
@@ -154,7 +163,42 @@ class TelemetryBus:
                 n_items=n_items,
                 itemsize=itemsize,
                 cost=cost,
+                queued=queued,
+                stream=stream,
+                offset=offset,
             )
+        )
+
+    def record_compute(
+        self, *, node: int, t: float, seconds: float, ops: float
+    ) -> None:
+        """Record charged CPU work; consecutive same-node charges coalesce.
+
+        Compute charges arrive in tight per-chunk loops; merging a charge
+        into a same-node, same-step ``Compute`` event at the stream tail
+        keeps the stream bounded by the node interleaving, not the chunk
+        count.  Coalesced merges do not re-notify subscribers.
+        """
+        if not self.captures_compute:
+            return
+        events = self.events
+        if events:
+            prev = events[-1]
+            if (
+                isinstance(prev, Compute)
+                and prev.node == node
+                and prev.step == self.current_step
+            ):
+                events[-1] = Compute(
+                    t=t,
+                    node=node,
+                    step=prev.step,
+                    seconds=prev.seconds + seconds,
+                    ops=prev.ops + ops,
+                )
+                return
+        self.emit(
+            Compute(t=t, node=node, step=self.current_step, seconds=seconds, ops=ops)
         )
 
     def record_net_transfer(

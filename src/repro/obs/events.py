@@ -21,7 +21,7 @@ the ``repro audit`` replay reads back.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import MISSING, dataclass, fields
 from typing import ClassVar, Mapping
 
 
@@ -70,7 +70,15 @@ class BarrierWait(Event):
 
 @dataclass(frozen=True, kw_only=True)
 class BlockRead(Event):
-    """One charged block read on a simulated disk."""
+    """One charged block read on a simulated disk.
+
+    ``queued`` is the drive-timeline *service start* of the access (the
+    drive is busy over ``[queued, queued + cost]``); ``-1.0`` in logs
+    predating the profiler means "unknown, assume ``t - cost``".
+    ``stream`` / ``offset`` identify the access as block ``offset`` of
+    file ``stream`` (how the event kernel detects sequential
+    continuation), ``""`` / ``-1`` when not stream-addressed.
+    """
 
     kind: ClassVar[str] = "block_read"
 
@@ -78,11 +86,19 @@ class BlockRead(Event):
     n_items: int
     itemsize: int
     cost: float
+    queued: float = -1.0
+    stream: str = ""
+    offset: int = -1
 
 
 @dataclass(frozen=True, kw_only=True)
 class BlockWrite(Event):
-    """One charged block write on a simulated disk."""
+    """One charged block write on a simulated disk.
+
+    Same drive-timeline fields as :class:`BlockRead`.  Under the event
+    kernel ``t`` is the *issue* time (write-behind does not block the
+    node) while ``[queued, queued + cost]`` is when the drive is busy.
+    """
 
     kind: ClassVar[str] = "block_write"
 
@@ -90,6 +106,9 @@ class BlockWrite(Event):
     n_items: int
     itemsize: int
     cost: float
+    queued: float = -1.0
+    stream: str = ""
+    offset: int = -1
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -102,6 +121,24 @@ class NetTransfer(Event):
     dst: int
     nbytes: int
     duration: float
+
+
+@dataclass(frozen=True, kw_only=True)
+class Compute(Event):
+    """Charged CPU work on a node's clock (capture level ``"full"``).
+
+    ``seconds`` is the simulated clock advance (already scaled by the
+    node's speed); ``ops`` is the abstract operation count it was
+    charged for, so a replay can re-scale the same work under a
+    different perf vector.  Consecutive charges on one node inside one
+    step are coalesced by the bus into a single event ending at the
+    last charge.
+    """
+
+    kind: ClassVar[str] = "compute"
+
+    seconds: float
+    ops: float
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -154,6 +191,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         BlockRead,
         BlockWrite,
         NetTransfer,
+        Compute,
         MemReserve,
         MemRelease,
         FaultInjected,
@@ -170,7 +208,10 @@ def event_from_dict(data: Mapping[str, object]) -> Event:
     cls = EVENT_TYPES[kind]
     kwargs: dict[str, object] = {}
     for f in fields(cls):
-        if f.name not in data:
+        if f.name in data:
+            kwargs[f.name] = data[f.name]
+        elif f.default is MISSING:
+            # Defaulted fields may be absent (logs written before the
+            # field existed deserialise with the default).
             raise ValueError(f"event {kind!r} is missing field {f.name!r}")
-        kwargs[f.name] = data[f.name]
     return cls(**kwargs)  # type: ignore[arg-type]

@@ -36,6 +36,7 @@ from repro.obs.events import (
     StepEnd,
     event_from_dict,
 )
+from repro.obs.profiler.timeline import merge_intervals
 
 #: pid used in Chrome traces for cluster-wide events (``node == -1``).
 CLUSTER_PID = 10_000
@@ -88,7 +89,9 @@ def read_jsonl(path: str) -> tuple[Optional[dict], list[Event]]:
 
 
 def to_chrome_trace(
-    events: Sequence[Event], node_names: Optional[Mapping[int, str]] = None
+    events: Sequence[Event],
+    node_names: Optional[Mapping[int, str]] = None,
+    critical: Optional[Sequence] = None,
 ) -> dict:
     """Fold an event stream into a Chrome-trace/Perfetto JSON object.
 
@@ -98,6 +101,17 @@ def to_chrome_trace(
     become complete (``X``) spans whose ``ts`` is the *start* time
     (event timestamps are completion times); memory events become ``C``
     counter samples; faults and retries become instants (``i``).
+
+    Each ``NetTransfer`` renders on *both* ends — a ``send->dst`` span
+    on the sender's net track and a ``recv<-src`` span on the
+    receiver's — joined by a flow (``ph: "s"``/``"f"``) arrow, so the
+    message's causal hop is visible across node tracks in Perfetto.
+
+    ``critical`` optionally takes the segments of a
+    :class:`~repro.obs.profiler.critical.CriticalPath` (any iterable of
+    objects with ``node``/``t0``/``t1``/``kind``/``step``); they render
+    as a ``critical path`` track on each node, highlighting which spans
+    gate the run end-to-end.
     """
     names = dict(node_names or {})
     tids: dict[tuple[int, str], int] = {}
@@ -148,6 +162,7 @@ def to_chrome_trace(
             "args": args,
         }
 
+    flow_id = 0
     for e in events:
         pid = ensure_process(e.node)
         if isinstance(e, StepEnd):
@@ -175,17 +190,41 @@ def to_chrome_trace(
                 )
             )
         elif isinstance(e, NetTransfer):
+            flow_id += 1
+            start = e.t - e.duration
+            args = {"bytes": e.nbytes, "step": e.step}
             tid = tid_of(pid, "net")
+            spans.append(span(f"send->{e.dst}", "net", start, e.duration, pid, tid, args))
+            dst_pid = ensure_process(e.dst)
+            dst_tid = tid_of(dst_pid, "net")
             spans.append(
-                span(
-                    f"send->{e.dst}",
-                    "net",
-                    e.t - e.duration,
-                    e.duration,
-                    pid,
-                    tid,
-                    {"bytes": e.nbytes, "step": e.step},
-                )
+                span(f"recv<-{e.src}", "net", start, e.duration, dst_pid, dst_tid, args)
+            )
+            # Flow arrow linking the send to its receive: the start
+            # binds inside the send span, the end (bp: "e") binds to
+            # the end of the enclosing recv span.
+            spans.append(
+                {
+                    "name": "msg",
+                    "cat": "net",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": start * _US,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+            spans.append(
+                {
+                    "name": "msg",
+                    "cat": "net",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": e.t * _US,
+                    "pid": dst_pid,
+                    "tid": dst_tid,
+                }
             )
         elif isinstance(e, (MemReserve, MemRelease)):
             spans.append(
@@ -228,6 +267,21 @@ def to_chrome_trace(
             )
         # StepBegin carries no information a StepEnd span doesn't.
 
+    for seg in critical or ():
+        pid = ensure_process(seg.node)
+        tid = tid_of(pid, "critical path")
+        spans.append(
+            span(
+                seg.kind,
+                "critical",
+                seg.t0,
+                seg.t1 - seg.t0,
+                pid,
+                tid,
+                {"step": seg.step},
+            )
+        )
+
     spans.sort(key=lambda s: s["ts"])  # stable: ties keep emission order
     trace_events = [process_meta[pid] for pid in sorted(process_meta)]
     trace_events.extend(thread_meta)
@@ -239,9 +293,10 @@ def write_chrome_trace(
     path: str,
     events: Sequence[Event],
     node_names: Optional[Mapping[int, str]] = None,
+    critical: Optional[Sequence] = None,
 ) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_chrome_trace(events, node_names), fh, indent=1)
+        json.dump(to_chrome_trace(events, node_names, critical=critical), fh, indent=1)
         fh.write("\n")
 
 
@@ -258,6 +313,10 @@ def to_prometheus(events: Iterable[Event]) -> str:
     """Fold an event stream into a Prometheus-exposition-format snapshot."""
     counters: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
     kinds: dict[str, tuple[str, str]] = {}
+    #: (node, disk) -> raw drive-timeline busy intervals, merged at the
+    #: end into true occupancy (write-behind queues the drive while the
+    #: node runs ahead, so summed service time != wall occupancy).
+    busy_iv: dict[tuple[str, str], list[tuple[float, float]]] = {}
 
     def add(name, labels, value, mtype, help_text) -> None:
         kinds[name] = (mtype, help_text)
@@ -282,6 +341,8 @@ def to_prometheus(events: Iterable[Event]) -> str:
                 f"Items moved by block {op}s")
             add("repro_io_busy_seconds_total", lab, e.cost, "counter",
                 "Simulated disk service time")
+            queued = e.queued if e.queued >= 0.0 else e.t - e.cost
+            busy_iv.setdefault((node, e.disk), []).append((queued, queued + e.cost))
         elif isinstance(e, NetTransfer):
             lab = {"src": str(e.src), "dst": str(e.dst)}
             add("repro_net_messages_total", lab, 1, "counter",
@@ -294,6 +355,8 @@ def to_prometheus(events: Iterable[Event]) -> str:
         elif isinstance(e, BarrierWait):
             add("repro_barrier_wait_seconds_total", {"step": e.step, "node": node},
                 e.wait, "counter", "Per-node idle time at step exit barriers")
+            add("repro_node_barrier_wait_seconds_total", {"node": node},
+                e.wait, "counter", "Per-node idle time across all barriers")
         elif isinstance(e, (MemReserve, MemRelease)):
             put("repro_mem_in_use_peak_items", {"node": node}, e.in_use,
                 "gauge", "Peak observed in-core reservation")
@@ -303,6 +366,12 @@ def to_prometheus(events: Iterable[Event]) -> str:
         elif isinstance(e, Retry):
             add("repro_retries_total", {"step": e.step}, 1, "counter",
                 "Step attempts re-run after transient faults")
+
+    for (node, disk), intervals in busy_iv.items():
+        occupancy = sum(t1 - t0 for t0, t1 in merge_intervals(intervals))
+        add("repro_drive_busy_seconds_total", {"node": node, "disk": disk},
+            occupancy, "counter",
+            "Wall-clock drive occupancy from the kernel's per-drive timeline")
 
     lines: list[str] = []
     for name in sorted(counters):

@@ -1,0 +1,118 @@
+"""Backward critical-path walk over a reconstructed timeline.
+
+Starting from the node that defines the run's end, walk time backwards.
+On a productive segment the path absorbs it and continues down the same
+node; on a wait-type segment the path *jumps* — at the same instant — to
+the node whose progress ended the wait (a barrier's gating node, the
+transfer that occupied a channel).  Because a jump loses no time and an
+absorbed segment always ends exactly where the previous one began, the
+path's total duration equals the run's elapsed time whenever the walk
+reaches t = 0 — the profiler's first conservation property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.profiler.model import BARRIER, COMPONENTS, NET_WAIT, Segment
+from repro.obs.profiler.timeline import EPS, Timeline
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The run's longest dependency chain, as clipped timeline segments."""
+
+    segments: tuple[Segment, ...]
+    #: Sum of segment durations == elapsed when ``complete``.
+    total: float
+    by_kind: dict[str, float]
+    by_component: dict[str, float]
+    by_step: dict[str, float]
+    #: True when the walk reached t = 0 (the path covers the whole run).
+    complete: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "total_seconds": self.total,
+            "complete": self.complete,
+            "by_component": {k: self.by_component.get(k, 0.0) for k in COMPONENTS},
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "by_step": dict(sorted(self.by_step.items())),
+            "n_segments": len(self.segments),
+        }
+
+
+def critical_path(tl: Timeline) -> CriticalPath:
+    """Extract the critical path of a reconstructed run."""
+    if tl.n_nodes == 0 or tl.elapsed <= 0.0:
+        return CriticalPath((), 0.0, {}, {}, {}, True)
+    # Start at the node whose own cursor defines the run's end (ties to
+    # the lowest rank); trailing idle padding never sits on the path.
+    node = min(
+        range(tl.n_nodes),
+        key=lambda r: (-(tl.final_times[r]), r),
+    )
+    t = tl.elapsed
+    tol = EPS * max(1.0, tl.elapsed)
+    out: list[Segment] = []
+    total_segs = sum(len(s) for s in tl.segments.values())
+    max_iter = 10 * total_segs + 100
+    complete = False
+    #: Jump targets visited at the current instant (cycle guard for
+    #: mutually-linked waits); cleared whenever time moves.
+    jumped: set[int] = set()
+    for _ in range(max_iter):
+        if t <= tol:
+            complete = True
+            break
+        seg = tl.segment_at(node, t)
+        if seg is None:
+            break
+        absorb = True
+        if seg.link is not None and seg.kind in (BARRIER, NET_WAIT):
+            peer = seg.link[0]
+            t_jump = t if seg.kind == BARRIER else seg.link[1]
+            if peer != node and peer not in jumped and 0 <= peer < tl.n_nodes:
+                jumped.add(node)
+                node = peer
+                if t_jump < t - tol:
+                    # A wait's cause ends where the wait began: the time
+                    # in between is covered by the wait itself.
+                    out.append(
+                        Segment(
+                            node=seg.node,
+                            t0=t_jump,
+                            t1=t,
+                            kind=seg.kind,
+                            step=seg.step,
+                            link=seg.link,
+                        )
+                    )
+                    t = t_jump
+                    jumped = {seg.node}
+                absorb = False
+        if absorb:
+            t0 = max(seg.t0, 0.0)
+            if t0 >= t - tol:
+                # Zero-width residue: step past it to avoid stalling.
+                nt = min(t, seg.t0)
+                t = nt if nt < t else t - tol
+                continue
+            out.append(
+                Segment(
+                    node=seg.node, t0=t0, t1=t, kind=seg.kind, step=seg.step, link=seg.link
+                )
+            )
+            t = t0
+            jumped = set()
+    out.reverse()
+    by_kind: dict[str, float] = {}
+    by_component: dict[str, float] = {}
+    by_step: dict[str, float] = {}
+    for s in out:
+        by_kind[s.kind] = by_kind.get(s.kind, 0.0) + s.duration
+        by_component[s.component] = by_component.get(s.component, 0.0) + s.duration
+        key = s.step or "(outside steps)"
+        by_step[key] = by_step.get(key, 0.0) + s.duration
+    total = sum(s.duration for s in out)
+    return CriticalPath(tuple(out), total, by_kind, by_component, by_step, complete)

@@ -1,0 +1,358 @@
+"""Per-node timeline reconstruction from a recorded telemetry stream.
+
+The profiler's foundation: replay a run's event stream (in emission
+order) keeping one time cursor per node, and tile every node's clock
+from 0 to the run's end with typed :class:`~repro.obs.profiler.model.Segment`
+intervals.  The reconstruction is *recorded-timestamp driven* — segment
+boundaries come from the events' own clock stamps, never from re-running
+the cost model — so two invariants hold by construction:
+
+* every node's segments tile ``[0, elapsed]`` without gaps or overlaps;
+* clipping segments to a step's recorded span always sums exactly to
+  that span (the blame report's conservation property).
+
+Cross-node causality is preserved as ``link`` annotations on wait-type
+segments (who released this barrier, which transfer blocked this send),
+which is all the critical-path walk needs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.obs.events import (
+    BarrierWait,
+    BlockRead,
+    BlockWrite,
+    Compute,
+    Event,
+    NetTransfer,
+    Retry,
+    StepBegin,
+    StepEnd,
+)
+from repro.obs.profiler.model import (
+    BACKOFF,
+    BARRIER,
+    COMPUTE,
+    DISK,
+    DISK_FLUSH,
+    DISK_QUEUE,
+    IDLE,
+    NET_RECV,
+    NET_SEND,
+    NET_WAIT,
+    OTHER,
+    BarrierGroup,
+    HardwareMeta,
+    Segment,
+)
+
+#: Intervals shorter than this are dropped (float noise, not time).
+EPS = 1e-12
+
+
+@dataclass
+class Timeline:
+    """The reconstructed run: per-node segment tilings + causal anchors."""
+
+    n_nodes: int
+    #: Per-node segments, time-ascending, tiling ``[0, elapsed]``.
+    segments: dict[int, list[Segment]]
+    #: Merged busy intervals per ``(node, disk_name)`` drive timeline.
+    drive_busy: dict[tuple[int, str], list[tuple[float, float]]]
+    #: Every rendezvous observed (explicit barriers + lockstep entries).
+    barrier_groups: list[BarrierGroup]
+    #: ``step -> node -> [(t0, t1), ...]`` recorded step spans.
+    step_spans: dict[str, dict[int, list[tuple[float, float]]]]
+    #: End of the run: the furthest any node's cursor reached.
+    elapsed: float
+    #: Per-node cursor position before trailing-idle padding.
+    final_times: list[float]
+    #: True when the stream carried ``Compute`` events (capture level
+    #: "full"); without them, pre-I/O gaps are untracked compute and are
+    #: labelled ``other`` instead of ``disk-queue``.
+    has_compute: bool
+    _ends: dict[int, list[float]] = field(default_factory=dict, repr=False)
+
+    def segment_at(self, node: int, t: float) -> Optional[Segment]:
+        """The segment of ``node`` covering ``(t0, t]`` for time ``t``."""
+        segs = self.segments.get(node)
+        if not segs:
+            return None
+        ends = self._ends.get(node)
+        if ends is None or len(ends) != len(segs):
+            ends = [s.t1 for s in segs]
+            self._ends[node] = ends
+        tol = EPS * max(1.0, abs(t))
+        idx = bisect_left(ends, t - tol)
+        if idx >= len(segs):
+            return None
+        seg = segs[idx]
+        if seg.t0 > t + tol:
+            return None
+        return seg
+
+    def total_by_kind(self) -> dict[str, float]:
+        """Summed duration per segment kind across all nodes."""
+        out: dict[str, float] = {}
+        for segs in self.segments.values():
+            for s in segs:
+                out[s.kind] = out.get(s.kind, 0.0) + s.duration
+        return out
+
+
+class _Builder:
+    """Stream interpreter: one cursor per node, causal bookkeeping."""
+
+    def __init__(self, n_nodes: int, has_compute: bool) -> None:
+        self.n = n_nodes
+        self.has_compute = has_compute
+        self.tau = [0.0] * n_nodes
+        #: Furthest write-behind completion queued since the last sync.
+        self.pending_flush = [0.0] * n_nodes
+        self.segs: dict[int, list[Segment]] = {r: [] for r in range(n_nodes)}
+        self.drive_busy: dict[tuple[int, str], list[tuple[float, float]]] = {}
+        self.groups: list[BarrierGroup] = []
+        self.step_spans: dict[str, dict[int, list[tuple[float, float]]]] = {}
+        #: Last completed transfer into each rank: ``dst -> (end, src)``.
+        self.in_channel: dict[int, tuple[float, int]] = {}
+
+    # -- segment emission --------------------------------------------------
+
+    def advance(
+        self,
+        node: int,
+        t: float,
+        kind: str,
+        step: str,
+        link: Optional[tuple[int, float]] = None,
+    ) -> None:
+        """Move ``node``'s cursor forward to ``t``, labelling the interval."""
+        t0 = self.tau[node]
+        if t <= t0 + EPS * max(1.0, abs(t)):
+            self.tau[node] = max(t0, t)
+            return
+        self.segs[node].append(Segment(node=node, t0=t0, t1=t, kind=kind, step=step, link=link))
+        self.tau[node] = t
+
+    def busy(self, node: int, disk: str, t0: float, t1: float) -> None:
+        if t1 > t0:
+            self.drive_busy.setdefault((node, disk), []).append((t0, t1))
+
+    # -- event handlers ----------------------------------------------------
+
+    def on_compute(self, ev: Compute) -> None:
+        start = ev.t - ev.seconds
+        self.advance(ev.node, start, OTHER, ev.step)
+        self.advance(ev.node, ev.t, COMPUTE, ev.step)
+
+    def on_read(self, ev: BlockRead) -> None:
+        queued = ev.queued if ev.queued >= 0.0 else ev.t - ev.cost
+        gap_kind = DISK_QUEUE if self.has_compute else OTHER
+        self.advance(ev.node, queued, gap_kind, ev.step)
+        self.advance(ev.node, ev.t, DISK, ev.step)
+        self.busy(ev.node, ev.disk, queued, queued + ev.cost)
+        # A read drains the drive's queue: nothing is pending any more.
+        self.pending_flush[ev.node] = 0.0
+
+    def on_write(self, ev: BlockWrite) -> None:
+        queued = ev.queued if ev.queued >= 0.0 else ev.t - ev.cost
+        self.busy(ev.node, ev.disk, queued, queued + ev.cost)
+        # Discriminate write-behind (t = issue time, service starts at or
+        # after it) from synchronous writes (t = completion, service was
+        # [t - cost, t]) by where the service interval sits relative to t.
+        write_behind = ev.cost <= 0.0 or queued > ev.t - ev.cost * 0.5
+        if write_behind:
+            end = queued + ev.cost
+            if end > self.pending_flush[ev.node]:
+                self.pending_flush[ev.node] = end
+            self.advance(ev.node, ev.t, OTHER, ev.step)
+        else:
+            gap_kind = DISK_QUEUE if self.has_compute else OTHER
+            self.advance(ev.node, queued, gap_kind, ev.step)
+            self.advance(ev.node, ev.t, DISK, ev.step)
+
+    def on_transfer(self, ev: NetTransfer) -> None:
+        start = ev.t - ev.duration
+        src, dst = ev.src, ev.dst
+        # Sender side: a gap before the transmission means the message
+        # waited for the receiver's inbound channel — the previous
+        # transfer into ``dst`` is the cause (the sender's own outbound
+        # channel is never behind its clock after a synchronous send).
+        if src < self.n:
+            prev = self.in_channel.get(dst)
+            tol = EPS * max(1.0, abs(start))
+            if prev is not None and abs(prev[0] - start) <= tol:
+                cause = (prev[1], start)
+            else:
+                cause = (dst, start)
+            self.advance(src, start, NET_WAIT, ev.step, link=cause)
+            self.advance(src, ev.t, NET_SEND, ev.step)
+        # Receiver side: blocked until the data fully arrived; any gap
+        # before the transfer started is waiting on the sender.
+        if dst < self.n and self.tau[dst] < ev.t:
+            self.advance(dst, start, NET_WAIT, ev.step, link=(src, start))
+            self.advance(dst, ev.t, NET_RECV, ev.step)
+        self.in_channel[dst] = (ev.t, src)
+
+    def on_barrier_group(self, group: Sequence[BarrierWait]) -> None:
+        t1 = group[0].t
+        waits = [(ev.node, ev.wait) for ev in group]
+        bg = BarrierGroup(t=t1, step=group[0].step, waits=waits)
+        gating = bg.gating_node()
+        for ev in group:
+            node = ev.node
+            if node >= self.n:
+                continue
+            arrival = max(self.tau[node], t1 - ev.wait)
+            flush = self.pending_flush[node]
+            if flush > self.tau[node]:
+                self.advance(node, min(flush, arrival), DISK_FLUSH, ev.step)
+            self.advance(node, arrival, OTHER, ev.step)
+            self.advance(node, t1, BARRIER, ev.step, link=(gating, t1))
+            self.pending_flush[node] = 0.0
+        self.groups.append(bg)
+
+    def on_step_begin_group(self, group: Sequence[StepBegin]) -> None:
+        # Under the lockstep kernel step entry is a barrier: members
+        # share one timestamp and the gap up to it is rendezvous idle.
+        # Under the event kernel timestamps differ per node and any gap
+        # is just untracked residue.
+        by_t: dict[float, list[StepBegin]] = {}
+        for ev in group:
+            by_t.setdefault(ev.t, []).append(ev)
+        for t, members in by_t.items():
+            if len(members) >= 2:
+                waits = [(ev.node, t - self.tau[ev.node]) for ev in members if ev.node < self.n]
+                if not waits:
+                    continue
+                bg = BarrierGroup(t=t, step=group[0].step, waits=waits)
+                gating = bg.gating_node()
+                emitted = False
+                for ev in members:
+                    if ev.node >= self.n:
+                        continue
+                    before = len(self.segs[ev.node])
+                    self.advance(ev.node, t, BARRIER, ev.step, link=(gating, t))
+                    emitted = emitted or len(self.segs[ev.node]) > before
+                if emitted:
+                    self.groups.append(bg)
+            else:
+                for ev in members:
+                    if ev.node < self.n:
+                        self.advance(ev.node, t, OTHER, ev.step)
+
+    def on_step_end(self, ev: StepEnd) -> None:
+        spans = self.step_spans.setdefault(ev.step, {})
+        spans.setdefault(ev.node, []).append((ev.t - ev.duration, ev.t))
+        self.advance(ev.node, ev.t, OTHER, ev.step)
+
+    def on_retry(self, ev: Retry) -> None:
+        # Backoff is charged to every node's clock from where it stands.
+        ranks = range(self.n) if ev.node < 0 else [ev.node]
+        for r in ranks:
+            self.advance(r, self.tau[r] + ev.backoff, BACKOFF, ev.step)
+
+
+def build_timeline(
+    events: Iterable[Event], hw: Optional[HardwareMeta] = None
+) -> Timeline:
+    """Reconstruct per-node timelines from a recorded event stream."""
+    stream = list(events)
+    ranks: set[int] = set()
+    has_compute = False
+    for ev in stream:
+        if ev.node >= 0:
+            ranks.add(ev.node)
+        if isinstance(ev, NetTransfer):
+            ranks.add(ev.src)
+            ranks.add(ev.dst)
+        elif isinstance(ev, Compute):
+            has_compute = True
+    if hw is not None and hw.speeds:
+        ranks.update(range(len(hw.speeds)))
+    n = (max(ranks) + 1) if ranks else 0
+    b = _Builder(n, has_compute)
+
+    i = 0
+    while i < len(stream):
+        ev = stream[i]
+        if isinstance(ev, BarrierWait):
+            group: list[BarrierWait] = []
+            seen: set[int] = set()
+            j = i
+            tol = EPS * max(1.0, abs(ev.t))
+            while (
+                j < len(stream)
+                and isinstance(stream[j], BarrierWait)
+                and abs(stream[j].t - ev.t) <= tol
+                and stream[j].node not in seen
+            ):
+                group.append(stream[j])  # type: ignore[arg-type]
+                seen.add(stream[j].node)
+                j += 1
+            b.on_barrier_group(group)
+            i = j
+            continue
+        if isinstance(ev, StepBegin):
+            sgroup: list[StepBegin] = []
+            j = i
+            while (
+                j < len(stream)
+                and isinstance(stream[j], StepBegin)
+                and stream[j].step == ev.step
+            ):
+                sgroup.append(stream[j])  # type: ignore[arg-type]
+                j += 1
+            b.on_step_begin_group(sgroup)
+            i = j
+            continue
+        if isinstance(ev, Compute):
+            b.on_compute(ev)
+        elif isinstance(ev, BlockRead):
+            b.on_read(ev)
+        elif isinstance(ev, BlockWrite):
+            b.on_write(ev)
+        elif isinstance(ev, NetTransfer):
+            b.on_transfer(ev)
+        elif isinstance(ev, StepEnd):
+            b.on_step_end(ev)
+        elif isinstance(ev, Retry):
+            b.on_retry(ev)
+        # FaultInjected / MemReserve / MemRelease carry no clock advance.
+        i += 1
+
+    final_times = list(b.tau)
+    elapsed = max(final_times) if final_times else 0.0
+    # Trailing idle: nodes that finished early (or died) pad to the end
+    # so every timeline tiles the same [0, elapsed] axis.
+    for r in range(n):
+        b.advance(r, elapsed, IDLE, "")
+    busy = {
+        key: merge_intervals(iv) for key, iv in sorted(b.drive_busy.items())
+    }
+    return Timeline(
+        n_nodes=n,
+        segments=b.segs,
+        drive_busy=busy,
+        barrier_groups=b.groups,
+        step_spans=b.step_spans,
+        elapsed=elapsed,
+        final_times=final_times,
+        has_compute=has_compute,
+    )
+
+
+def merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Coalesce overlapping/adjacent intervals (drive busy accounting)."""
+    out: list[tuple[float, float]] = []
+    for t0, t1 in sorted(intervals):
+        if out and t0 <= out[-1][1] + EPS:
+            if t1 > out[-1][1]:
+                out[-1] = (out[-1][0], t1)
+        else:
+            out.append((t0, t1))
+    return out

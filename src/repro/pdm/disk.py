@@ -136,6 +136,11 @@ class SimDisk:
         #: owns the cost-to-clock mapping of every charged access; a
         #: standalone disk falls back to the synchronous legacy model.
         self.kernel: Optional["ExecutionKernel"] = None
+        #: Drive-timeline service start of the most recent access, set
+        #: by the kernel per charge (``-1.0`` = synchronous semantics,
+        #: where service start is completion minus cost).  Published on
+        #: each block event as its ``queued`` field.
+        self.last_queued: float = -1.0
         self._file_counter = 0
 
     def next_file_name(self, prefix: str = "f") -> str:
@@ -183,7 +188,7 @@ class SimDisk:
         cost = self._serve("read", n_items, itemsize, stream, offset)
         self.stats.record_read(n_items, cost)
         if self.bus is not None:
-            self._publish("read", n_items, itemsize, cost)
+            self._publish("read", n_items, itemsize, cost, stream, offset)
         return cost
 
     def charge_write(
@@ -202,7 +207,7 @@ class SimDisk:
         cost = self._serve("write", n_items, itemsize, stream, offset)
         self.stats.record_write(n_items, cost)
         if self.bus is not None:
-            self._publish("write", n_items, itemsize, cost)
+            self._publish("write", n_items, itemsize, cost, stream, offset)
         return cost
 
     def _serve(
@@ -219,6 +224,7 @@ class SimDisk:
         synchronous model applies: full ``seek + transfer`` service time,
         observer (the owning clock) advanced immediately.
         """
+        self.last_queued = -1.0  # synchronous unless the kernel says otherwise
         if self.kernel is not None:
             return self.kernel.on_io(self, op, n_items, itemsize, stream, offset)
         cost = (
@@ -230,13 +236,23 @@ class SimDisk:
             self.observer(cost)
         return cost
 
-    def _publish(self, op: str, n_items: int, itemsize: int, cost: float) -> None:
+    def _publish(
+        self,
+        op: str,
+        n_items: int,
+        itemsize: int,
+        cost: float,
+        stream: Optional[str],
+        offset: Optional[int],
+    ) -> None:
         """Publish one completed block I/O to the telemetry bus.
 
         Called after the stats and observer updates so the event's
         timestamp is the access's *completion* time on the owning node's
         clock (standalone disks fall back to their accumulated busy
-        time, which is equally monotone).
+        time, which is equally monotone).  Writes under the event kernel
+        are the exception: the clock is not advanced, so ``t`` is the
+        issue time and ``queued`` carries the drive-timeline start.
         """
         bus = self.bus
         if bus is None:  # pragma: no cover - guarded by callers
@@ -245,14 +261,19 @@ class SimDisk:
         if step:
             self.stats.bump(step)
         owner = self.owner
+        t = owner.clock.time if owner is not None else self.stats.busy_time
+        queued = self.last_queued if self.last_queued >= 0.0 else t - cost
         bus.record_block_io(
             op,
             disk=self.name,
             node=owner.rank if owner is not None else -1,
-            t=owner.clock.time if owner is not None else self.stats.busy_time,
+            t=t,
             n_items=n_items,
             itemsize=itemsize,
             cost=cost,
+            queued=queued,
+            stream=stream if stream is not None else "",
+            offset=offset if offset is not None else -1,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
