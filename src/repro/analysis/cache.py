@@ -135,18 +135,39 @@ def report_from_dict(d: dict[str, object]) -> AnalysisReport:
 class CacheStats:
     hits: int = 0
     misses: int = 0
+    #: per-pass breakdown (``shallow``/``deep``/``protocol``/``cost``),
+    #: populated when callers pass ``pass_name`` to get/put
+    passes: dict[str, "CacheStats"] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def record(self, hit: bool, pass_name: Optional[str] = None) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if pass_name is not None:
+            sub = self.passes.setdefault(pass_name, CacheStats())
+            if hit:
+                sub.hits += 1
+            else:
+                sub.misses += 1
+
     def to_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
         }
+        if self.passes:
+            out["passes"] = {
+                name: sub.to_dict()
+                for name, sub in sorted(self.passes.items())
+            }
+        return out
 
 
 @dataclass
@@ -163,14 +184,16 @@ class LintCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[dict[str, object]]:
+    def get(
+        self, key: str, pass_name: Optional[str] = None
+    ) -> Optional[dict[str, object]]:
         path = self._path(key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            self.stats.misses += 1
+            self.stats.record(False, pass_name)
             return None
-        self.stats.hits += 1
+        self.stats.record(True, pass_name)
         return payload  # type: ignore[no-any-return]
 
     def put(self, key: str, payload: dict[str, object]) -> None:

@@ -9,18 +9,27 @@ Exit codes (CI contract, tested):
   mistaken for a clean run.
 
 ``--deep`` additionally runs the flow-aware interprocedural rules
-(REP101..REP105, :mod:`repro.analysis.flow`) and ``--protocol`` the
+(REP101..REP105, :mod:`repro.analysis.flow`), ``--protocol`` the
 communication-protocol rules (REP201..REP206,
-:mod:`repro.analysis.protocol`) on top of the syntactic pass — same
-exit contract, same noqa/baseline machinery; all findings fingerprint
-identically, so one baseline file covers every pass.
+:mod:`repro.analysis.protocol`) and ``--cost`` the symbolic I/O-cost
+certifier (REP301..REP306, :mod:`repro.analysis.cost`) on top of the
+syntactic pass — same exit contract, same noqa/baseline machinery; all
+findings fingerprint identically, so one baseline file covers every
+pass.  ``--all`` enables every pass at once and produces one merged,
+stably-sorted report with one combined exit code (the single-job CI
+entry point).
 
 ``--emit-schema DIR`` writes the statically extracted per-step
 communication schema of every known algorithm entry point as
-``protocol-<name>.json`` (the input to ``repro audit --protocol``).
+``protocol-<name>.json`` (the input to ``repro audit --protocol``);
+``--emit-costs DIR`` writes the derived symbolic per-step I/O bounds as
+``costs-<name>.json`` (the input to ``repro audit --certify``);
+``--write-cost-baseline`` pins the derived expressions into
+``cost-baseline.json`` (the REP305 regression reference).
 
 Results are cached under ``.lint-cache/`` keyed by content sha256 +
-engine version (:mod:`repro.analysis.cache`); ``--no-cache`` bypasses.
+engine version (:mod:`repro.analysis.cache`); ``--no-cache`` bypasses,
+and the JSON report breaks the hit rate down per pass.
 
 ``--format json`` output is stable for tooling: fixed keys, findings
 sorted by (path, line, rule), engine version keys, no timestamps or
@@ -56,6 +65,15 @@ from repro.analysis.engine import (
     Finding,
     analyze_source,
     iter_python_files,
+)
+from repro.analysis.cost import (
+    COST_BASELINE_NAME,
+    COST_ENGINE_VERSION,
+    COST_RULES_BY_CODE,
+    analyze_cost,
+    emit_costs,
+    get_cost_rules,
+    write_cost_baseline,
 )
 from repro.analysis.flow import (
     DEEP_RULES_BY_CODE,
@@ -102,11 +120,43 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="also run the communication-protocol rules (REP201..REP206)",
     )
     parser.add_argument(
+        "--cost",
+        action="store_true",
+        help="also run the symbolic I/O-cost certifier (REP301..REP306)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_passes",
+        help="run every pass (shallow + --deep + --protocol + --cost) "
+        "as one merged report with one exit code",
+    )
+    parser.add_argument(
         "--emit-schema",
         default=None,
         metavar="DIR",
         help="write per-algorithm protocol schemas (protocol-<name>.json) "
         "extracted from the analysed sources into DIR",
+    )
+    parser.add_argument(
+        "--emit-costs",
+        default=None,
+        metavar="DIR",
+        help="write per-algorithm derived I/O-cost bounds "
+        "(costs-<name>.json) into DIR",
+    )
+    parser.add_argument(
+        "--cost-baseline",
+        default=None,
+        metavar="FILE",
+        help=f"cost-regression baseline REP305 compares against "
+        f"(default: ./{COST_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--write-cost-baseline",
+        action="store_true",
+        help=f"pin the currently derived bounds into {COST_BASELINE_NAME} "
+        "(then continue linting)",
     )
     parser.add_argument(
         "--baseline",
@@ -172,14 +222,29 @@ def _default_baseline() -> Path | None:
     return None
 
 
+def _default_cost_baseline() -> Path | None:
+    cwd_candidate = Path(COST_BASELINE_NAME)
+    if cwd_candidate.is_file():
+        return cwd_candidate
+    import repro
+
+    repo_candidate = Path(repro.__file__).parent.parent.parent / COST_BASELINE_NAME
+    if repo_candidate.is_file():
+        return repo_candidate
+    return None
+
+
 def _list_rules(out: TextIO) -> None:
     deep_rules = tuple(DEEP_RULES_BY_CODE[c] for c in sorted(DEEP_RULES_BY_CODE))
     protocol_rules = tuple(
         PROTOCOL_RULES_BY_CODE[c] for c in sorted(PROTOCOL_RULES_BY_CODE)
     )
-    for rule in (*ALL_RULES, *deep_rules, *protocol_rules):
+    cost_rules = tuple(COST_RULES_BY_CODE[c] for c in sorted(COST_RULES_BY_CODE))
+    for rule in (*ALL_RULES, *deep_rules, *protocol_rules, *cost_rules):
         scope = ", ".join(rule.scope) if rule.scope else "whole package"
-        if rule.code in PROTOCOL_RULES_BY_CODE:
+        if rule.code in COST_RULES_BY_CODE:
+            tag = " [cost]"
+        elif rule.code in PROTOCOL_RULES_BY_CODE:
             tag = " [protocol]"
         elif rule.code in DEEP_RULES_BY_CODE:
             tag = " [deep]"
@@ -193,18 +258,29 @@ def _list_rules(out: TextIO) -> None:
 
 
 def _split_rule_codes(
-    codes: Sequence[str] | None, deep: bool, protocol: bool
-) -> tuple[Sequence[str] | None, Sequence[str] | None, Sequence[str] | None]:
-    """Partition ``--rule`` selections into (shallow, deep, protocol).
+    codes: Sequence[str] | None, deep: bool, protocol: bool, cost: bool
+) -> tuple[
+    Sequence[str] | None,
+    Sequence[str] | None,
+    Sequence[str] | None,
+    Sequence[str] | None,
+]:
+    """Partition ``--rule`` selections into (shallow, deep, protocol, cost).
 
     Returns ``None`` for a pass meaning "all its rules"; an empty list
     meaning "skip that pass entirely" (the user filtered it out).
     """
     if not codes:
-        return None, (None if deep else []), (None if protocol else [])
+        return (
+            None,
+            (None if deep else []),
+            (None if protocol else []),
+            (None if cost else []),
+        )
     shallow: list[str] = []
     deep_codes: list[str] = []
     protocol_codes: list[str] = []
+    cost_codes: list[str] = []
     for code in codes:
         upper = code.upper()
         if upper in RULES_BY_CODE:
@@ -213,11 +289,14 @@ def _split_rule_codes(
             deep_codes.append(code)
         elif upper in PROTOCOL_RULES_BY_CODE:
             protocol_codes.append(code)
+        elif upper in COST_RULES_BY_CODE:
+            cost_codes.append(code)
         else:
             known = (
                 sorted(RULES_BY_CODE)
                 + sorted(DEEP_RULES_BY_CODE)
                 + sorted(PROTOCOL_RULES_BY_CODE)
+                + sorted(COST_RULES_BY_CODE)
             )
             raise AnalysisError(
                 f"unknown rule {code!r}; have {', '.join(known)}"
@@ -232,7 +311,12 @@ def _split_rule_codes(
             f"rule(s) {', '.join(sorted(c.upper() for c in protocol_codes))} "
             "are protocol rules; pass --protocol to enable them"
         )
-    return shallow, deep_codes, protocol_codes
+    if cost_codes and not cost:
+        raise AnalysisError(
+            f"rule(s) {', '.join(sorted(c.upper() for c in cost_codes))} "
+            "are I/O-cost rules; pass --cost to enable them"
+        )
+    return shallow, deep_codes, protocol_codes, cost_codes
 
 
 def _merge_reports(
@@ -283,7 +367,7 @@ def _analyze_shallow(
         key = cache_key("shallow", ENGINE_VERSION, token, display,
                         source_digest(source))
         if cache is not None:
-            hit = cache.get(key)
+            hit = cache.get(key, "shallow")
             if hit is not None:
                 report.files.append(file_report_from_dict(hit))
                 continue
@@ -301,13 +385,19 @@ def _analyze_whole_project(
     codes: Sequence[str] | None,
     cache: LintCache | None,
     run: Callable[[], AnalysisReport],
+    extra_key: str = "",
 ) -> AnalysisReport:
-    """A whole-project (interprocedural) pass, cached by project digest."""
+    """A whole-project (interprocedural) pass, cached by project digest.
+
+    ``extra_key`` folds additional inputs into the key — the cost pass
+    uses it for the digest of the cost baseline file, since REP305's
+    output depends on that file's content as much as on the sources.
+    """
     digest = project_digest([(p.as_posix(), s) for p, s in sources])
     key = cache_key(pass_name, engine_version, rule_selection_token(codes),
-                    digest)
+                    digest, extra_key)
     if cache is not None:
-        hit = cache.get(key)
+        hit = cache.get(key, pass_name)
         if hit is not None:
             return report_from_dict(hit)
     report = run()
@@ -351,6 +441,7 @@ def _render_json(
     report: AnalysisReport,
     deep: bool,
     protocol: bool,
+    cost: bool,
     cache: LintCache | None,
 ) -> None:
     payload = {
@@ -358,6 +449,7 @@ def _render_json(
         "engine_version": ENGINE_VERSION,
         "flow_engine_version": FLOW_ENGINE_VERSION if deep else None,
         "protocol_engine_version": PROTOCOL_ENGINE_VERSION if protocol else None,
+        "cost_engine_version": COST_ENGINE_VERSION if cost else None,
         "findings": [
             {**f.to_dict(), "fingerprint": fingerprint(f)}
             for f in sorted(new, key=_finding_order)
@@ -395,9 +487,14 @@ def run_lint(
             return EXIT_CLEAN
         deep = getattr(args, "deep", False)
         protocol = getattr(args, "protocol", False)
+        cost = getattr(args, "cost", False)
+        if getattr(args, "all_passes", False):
+            deep = protocol = cost = True
         emit_schema_dir = getattr(args, "emit_schema", None)
-        shallow_codes, deep_codes, protocol_codes = _split_rule_codes(
-            args.rule, deep, protocol
+        emit_costs_dir = getattr(args, "emit_costs", None)
+        write_cost_base = getattr(args, "write_cost_baseline", False)
+        shallow_codes, deep_codes, protocol_codes, cost_codes = (
+            _split_rule_codes(args.rule, deep, protocol, cost)
         )
         paths = args.paths or _default_paths()
         cache: LintCache | None = None
@@ -410,10 +507,16 @@ def run_lint(
         else:
             report = _analyze_shallow(sources, shallow_codes, cache)
 
-        # the deep and protocol passes (and --emit-schema) share one model
+        # the interprocedural passes (and the emitters) share one model
         project = None
-        if (deep and deep_codes != []) or (protocol and protocol_codes != []) \
-                or emit_schema_dir is not None:
+        if (
+            (deep and deep_codes != [])
+            or (protocol and protocol_codes != [])
+            or (cost and cost_codes != [])
+            or emit_schema_dir is not None
+            or emit_costs_dir is not None
+            or write_cost_base
+        ):
             project = load_project(paths)
         if deep and deep_codes != []:
             report = _merge_reports(
@@ -437,12 +540,52 @@ def run_lint(
                     ),
                 ),
             )
+        if write_cost_base and project is not None:
+            # pin first so the same invocation lints against the fresh pin
+            target = write_cost_baseline(project, Path(COST_BASELINE_NAME))
+            notice_out = err if args.format == "json" else out
+            notice_out.write(
+                f"wrote cost baseline {target.as_posix()}\n"
+            )
+        if cost and cost_codes != []:
+            if getattr(args, "cost_baseline", None) is not None:
+                cost_baseline_path = Path(args.cost_baseline)
+                if not cost_baseline_path.is_file():
+                    raise AnalysisError(
+                        f"{cost_baseline_path}: cost baseline file not found"
+                    )
+            else:
+                cost_baseline_path = _default_cost_baseline()
+            baseline_digest = (
+                source_digest(
+                    cost_baseline_path.read_text(encoding="utf-8")
+                )
+                if cost_baseline_path is not None
+                else "no-cost-baseline"
+            )
+            report = _merge_reports(
+                report,
+                _analyze_whole_project(
+                    "cost", COST_ENGINE_VERSION, sources, cost_codes, cache,
+                    lambda: analyze_cost(
+                        paths,
+                        get_cost_rules(cost_codes, cost_baseline_path),
+                        project=project,
+                    ),
+                    extra_key=baseline_digest,
+                ),
+            )
         if emit_schema_dir is not None and project is not None:
             written = emit_schemas(project, emit_schema_dir)
             # keep stdout pure JSON for tooling; notices go to stderr
             notice_out = err if args.format == "json" else out
             for path in written:
                 notice_out.write(f"wrote schema {path.as_posix()}\n")
+        if emit_costs_dir is not None and project is not None:
+            written = emit_costs(project, emit_costs_dir)
+            notice_out = err if args.format == "json" else out
+            for path in written:
+                notice_out.write(f"wrote costs {path.as_posix()}\n")
         findings = report.findings
 
         baseline_path: Path | None
@@ -471,7 +614,9 @@ def run_lint(
             new, baselined = findings, []
 
         if args.format == "json":
-            _render_json(out, new, baselined, report, deep, protocol, cache)
+            _render_json(
+                out, new, baselined, report, deep, protocol, cost, cache
+            )
         else:
             _render_text(out, new, baselined, report, args.show_suppressed)
         return EXIT_FINDINGS if new else EXIT_CLEAN
@@ -489,7 +634,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         description=(
             "simulation-invariant linter (REP001..REP008; "
             "--deep adds flow-aware REP101..REP105; "
-            "--protocol adds communication rules REP201..REP206)"
+            "--protocol adds communication rules REP201..REP206; "
+            "--cost adds I/O-cost certification REP301..REP306; "
+            "--all runs every pass)"
         ),
     )
     add_lint_arguments(parser)

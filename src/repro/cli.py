@@ -150,15 +150,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a saved telemetry JSONL log through the bounds auditor",
         description="Reads a JSONL event log written by 'repro sort --events' "
         "(its run_meta line carries the run parameters) and re-checks every "
-        "step's measured I/O against the paper bounds; exit 1 on violation.",
+        "step's measured I/O against the paper bounds; exit 1 on violation.  "
+        "--certify additionally checks measured I/O against the *statically "
+        "derived* per-step bounds (repro lint --cost), closing the "
+        "measured <= derived <= paper sandwich; --certify-corpus / "
+        "--certify-bench certify a fuzz corpus or a BENCH_sort.json instead "
+        "of a single log.",
     )
-    p_audit.add_argument("events_file", help="JSONL log from 'repro sort --events'")
+    p_audit.add_argument(
+        "events_file",
+        nargs="?",
+        default=None,
+        help="JSONL log from 'repro sort --events' (optional with "
+        "--certify-corpus / --certify-bench)",
+    )
     p_audit.add_argument(
         "--protocol",
         default=None,
         metavar="SCHEMA",
         help="also check trace conformance against a protocol schema JSON "
         "(from 'repro lint --protocol --emit-schema DIR')",
+    )
+    p_audit.add_argument(
+        "--certify",
+        action="store_true",
+        help="also check measured I/O against the statically derived "
+        "symbolic bounds (exit 1 if any step exceeds them)",
+    )
+    p_audit.add_argument(
+        "--certify-corpus",
+        default=None,
+        metavar="DIR",
+        help="replay every fuzz-corpus case in DIR and certify the "
+        "fault-free ones against the static bounds",
+    )
+    p_audit.add_argument(
+        "--certify-bench",
+        default=None,
+        metavar="FILE",
+        help="certify every audited run recorded in a BENCH_sort.json",
     )
     p_audit.add_argument(
         "--format", choices=["text", "json"], default="text", help="report format"
@@ -462,12 +492,71 @@ def cmd_sort(args) -> int:
     return 0
 
 
+def _render_certify_cases(cases, fmt: str) -> bool:
+    """Print corpus/bench certification results; returns overall ok."""
+    import json
+
+    if fmt == "json":
+        payload = [
+            {
+                "name": c.name,
+                "ok": c.ok,
+                "skipped": c.skipped,
+                "report": c.report.to_dict() if c.report is not None else None,
+            }
+            for c in cases
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for c in cases:
+            if c.report is None:
+                print(f"{c.name}: skipped ({c.skipped})")
+            else:
+                verdict = "CERTIFIED" if c.report.ok else "FAIL"
+                worst = max(
+                    (r.ratio for r in c.report.rows if r.ratio is not None),
+                    default=None,
+                )
+                ratio = f", worst ratio {worst:.3f}" if worst is not None else ""
+                print(f"{c.name}: {verdict}{ratio}")
+                if not c.report.ok:
+                    print(c.report.table().render())
+    return all(c.ok for c in cases)
+
+
 def cmd_audit(args) -> int:
     import json
 
     from repro.obs.audit import RunMeta, audit_run
     from repro.obs.exporters import read_jsonl
 
+    corpus_dir = getattr(args, "certify_corpus", None)
+    bench_file = getattr(args, "certify_bench", None)
+    if corpus_dir is not None or bench_file is not None:
+        from repro.analysis.cost import certify_bench, certify_corpus
+
+        ok = True
+        if corpus_dir is not None:
+            ok = _render_certify_cases(
+                certify_corpus(corpus_dir), args.format
+            ) and ok
+        if bench_file is not None:
+            ok = _render_certify_cases(
+                certify_bench(bench_file), args.format
+            ) and ok
+        if args.events_file is None:
+            return 0 if ok else 1
+        # fall through: also audit/certify the given log
+        if not ok:
+            return 1
+
+    if args.events_file is None:
+        print(
+            "error: events_file is required unless --certify-corpus or "
+            "--certify-bench is given",
+            file=sys.stderr,
+        )
+        return 2
     meta_dict, events = read_jsonl(args.events_file)
     if meta_dict is None:
         print(
@@ -490,16 +579,29 @@ def cmd_audit(args) -> int:
                   file=sys.stderr)
             return 2
         conformance = check_conformance(schema, events)
+    certification = None
+    if getattr(args, "certify", False):
+        from repro.analysis.cost import certify_events
+
+        certification = certify_events(events, meta)
     if args.format == "json":
         payload = report.to_dict()
         if conformance is not None:
             payload["protocol"] = conformance.to_dict()
+        if certification is not None:
+            payload["certify"] = certification.to_dict()
         print(json.dumps(payload, indent=2))
     else:
         print(report.table().render())
         if conformance is not None:
             print(conformance.table().render())
-    ok = report.ok and (conformance is None or conformance.ok)
+        if certification is not None:
+            print(certification.table().render())
+    ok = (
+        report.ok
+        and (conformance is None or conformance.ok)
+        and (certification is None or certification.ok)
+    )
     return 0 if ok else 1
 
 

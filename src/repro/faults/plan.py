@@ -197,7 +197,7 @@ class FaultPlan:
 
     # -- (de)serialisation (the CLI's --fault-plan format) -----------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "seed": self.seed,
             "disk": [
@@ -220,7 +220,7 @@ class FaultPlan:
         }
 
     @staticmethod
-    def from_dict(d: dict) -> "FaultPlan":
+    def from_dict(d: dict[str, object]) -> "FaultPlan":
         if not isinstance(d, dict):
             raise FaultPlanError(f"fault plan must be a JSON object, got {type(d).__name__}")
         known = {"seed", "disk", "network", "kills"}

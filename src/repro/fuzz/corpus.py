@@ -55,8 +55,8 @@ class Corpus:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         self.max_size = max_size
         self.entries: list[CorpusEntry] = []
-        self.seen_lines: set = set()
-        self.seen_signatures: set = set()
+        self.seen_lines: set[tuple[str, int]] = set()
+        self.seen_signatures: set[tuple[str, str, str]] = set()
         self._fingerprints: set[str] = set()
         self._next_ordinal = 0
 

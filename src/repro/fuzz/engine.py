@@ -122,7 +122,7 @@ class ViolationCase:
     shrink_attempts: int
     path: Optional[str] = None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "kind": self.violation.kind,
             "check": self.violation.check,
@@ -141,17 +141,17 @@ class FuzzReport:
 
     seed: int
     runs: int = 0
-    statuses: dict = field(default_factory=dict)
-    corpus_fingerprints: list = field(default_factory=list)
+    statuses: dict[str, int] = field(default_factory=dict)
+    corpus_fingerprints: list[str] = field(default_factory=list)
     coverage_lines: int = 0
     signatures: int = 0
-    violations: list = field(default_factory=list)
+    violations: list[ViolationCase] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "seed": self.seed,
             "runs": self.runs,
@@ -433,8 +433,8 @@ def _handle_violation(
     executor: ScenarioExecutor,
     config: FuzzConfig,
     report: FuzzReport,
-    seen_bugs: set,
-    trails: dict,
+    seen_bugs: set[tuple[str, str]],
+    trails: dict[str, tuple[str, ...]],
     log: Callable[[str], None],
 ) -> None:
     violation = outcome.violation

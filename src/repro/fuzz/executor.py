@@ -91,9 +91,9 @@ class RunOutcome:
     status: str
     violation: Optional[Violation] = None
     #: Executed ``(relpath, line)`` set of ``src/repro``.
-    coverage: frozenset = frozenset()
+    coverage: frozenset[tuple[str, int]] = frozenset()
     #: Event-stream signature: ``(step, event-kind, node-class)`` triples.
-    signature: frozenset = frozenset()
+    signature: frozenset[tuple[str, str, str]] = frozenset()
     #: Largest measured/bound ratio the auditor saw (0.0 when not audited).
     worst_ratio: float = 0.0
     #: Sanitizer trip records (kept even though the error is translated).
@@ -107,7 +107,7 @@ class RunOutcome:
     #: Per-(step, node) I/O counters folded to hashable tuples:
     #: ``(step, node, blocks_read, blocks_written, items_read,
     #: items_written)``.  Timing-free, so identical across kernels.
-    io_counters: frozenset = frozenset()
+    io_counters: frozenset[tuple[str, int, int, int, int, int]] = frozenset()
 
     @property
     def is_violation(self) -> bool:
@@ -117,7 +117,7 @@ class RunOutcome:
 class _NoCoverage:
     """Stand-in collector when coverage is disabled (replay fast path)."""
 
-    lines: frozenset = frozenset()
+    lines: frozenset[tuple[str, int]] = frozenset()
 
     def __enter__(self) -> "_NoCoverage":
         return self
@@ -269,7 +269,9 @@ class ScenarioExecutor:
         )
 
 
-def _io_counters(cluster: Cluster) -> frozenset:
+def _io_counters(
+    cluster: Cluster,
+) -> frozenset[tuple[str, int, int, int, int, int]]:
     """Fold the bus's block I/O events into hashable per-cell tuples."""
     cells = collect_step_io(cluster.bus.events)
     return frozenset(
@@ -278,10 +280,12 @@ def _io_counters(cluster: Cluster) -> frozenset:
     )
 
 
-def _signature(cluster: Cluster, perf: PerfVector) -> frozenset:
+def _signature(
+    cluster: Cluster, perf: PerfVector
+) -> frozenset[tuple[str, str, str]]:
     """Fold the telemetry stream into ``(step, kind, node-class)`` triples."""
     p = perf.p
-    triples = set()
+    triples: set[tuple[str, str, str]] = set()
     for event in cluster.bus.events:
         rank = event.node
         node_class = f"perf{perf.values[rank]}" if 0 <= rank < p else "cluster"

@@ -147,7 +147,7 @@ class Scenario:
 
     # -- serialization -----------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         out: dict[str, object] = {
             "benchmark": self.benchmark,
             "n_items": self.n_items,

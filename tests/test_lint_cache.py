@@ -68,8 +68,14 @@ class TestCliCacheFlow:
         code2, out2 = lint(*args)
         assert code1 == code2 == EXIT_FINDINGS
         stats1, stats2 = cache_stats(out1), cache_stats(out2)
-        assert stats1 == {"hits": 0, "misses": 1, "hit_rate": 0.0}
-        assert stats2 == {"hits": 1, "misses": 0, "hit_rate": 1.0}
+        assert stats1 == {
+            "hits": 0, "misses": 1, "hit_rate": 0.0,
+            "passes": {"shallow": {"hits": 0, "misses": 1, "hit_rate": 0.0}},
+        }
+        assert stats2 == {
+            "hits": 1, "misses": 0, "hit_rate": 1.0,
+            "passes": {"shallow": {"hits": 1, "misses": 0, "hit_rate": 1.0}},
+        }
         # findings identical whether computed or replayed
         assert json.loads(out1)["findings"] == json.loads(out2)["findings"]
 
@@ -83,7 +89,10 @@ class TestCliCacheFlow:
         a.write_text(CLEAN, encoding="utf-8")
         code, out = lint(*args)
         assert code == EXIT_CLEAN
-        assert cache_stats(out) == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        assert cache_stats(out) == {
+            "hits": 1, "misses": 1, "hit_rate": 0.5,
+            "passes": {"shallow": {"hits": 1, "misses": 1, "hit_rate": 0.5}},
+        }
 
     def test_protocol_pass_caches_by_project_digest(self, tmp_path):
         core_file(tmp_path, CLEAN, "a.py")
@@ -95,7 +104,12 @@ class TestCliCacheFlow:
         _, out2 = lint(*args)
         # 2 shallow files + 1 protocol project entry
         assert cache_stats(out1)["misses"] == 3
-        assert cache_stats(out2) == {"hits": 3, "misses": 0, "hit_rate": 1.0}
+        stats2 = cache_stats(out2)
+        assert (stats2["hits"], stats2["misses"]) == (3, 0)
+        assert stats2["passes"] == {
+            "shallow": {"hits": 2, "misses": 0, "hit_rate": 1.0},
+            "protocol": {"hits": 1, "misses": 0, "hit_rate": 1.0},
+        }
         # touching any module invalidates the whole interprocedural entry
         b.write_text(CLEAN + "\n", encoding="utf-8")
         _, out3 = lint(*args)
@@ -128,7 +142,8 @@ class TestDegradation:
             entry.write_text("{not json", encoding="utf-8")
         code, out = lint(*args)
         assert code == EXIT_FINDINGS
-        assert cache_stats(out) == {"hits": 0, "misses": 1, "hit_rate": 0.0}
+        stats = cache_stats(out)
+        assert (stats["hits"], stats["misses"]) == (0, 1)
         code, out = lint(*args)
         assert cache_stats(out)["hits"] == 1
 
